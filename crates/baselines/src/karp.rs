@@ -1,0 +1,156 @@
+//! Karp et al. (FOCS 2000)-style **counter-terminated PUSH-PULL**:
+//! `Θ(log n)` rounds with only `O(log log n)`-ish rumor transmissions per
+//! node on average.
+//!
+//! The rumor carries its birth round; with synchronous rounds every node
+//! can evaluate the rumor's age locally. An informed node **pushes** only
+//! while the age is below `0.7·log₂ n + c₁·log log n` (the exponential
+//! growth phase — stopping here keeps total pushes a geometric sum of
+//! `O(n)` instead of letting a saturated network push for the whole
+//! coupon-collector tail) and the protocol runs `c₂·log log n` further
+//! rounds in which uninformed nodes PULL and informed nodes answer (the
+//! quadratic-shrinking end-game). Each node therefore transmits the
+//! (large, `b`-bit) rumor `O(1)` times on average with an
+//! `O(log log n)`-round transmission window, while header-only pull
+//! requests are accounted separately — matching the accounting of \[10\],
+//! whose `O(n log log n)` bound counts transmissions.
+//!
+//! This is the age-based variant of \[10\]; their address-oblivious
+//! median-counter refinement (which removes the need to know `n` exactly)
+//! has the same complexity envelope, which is all the paper's comparison
+//! uses (DESIGN.md §2).
+
+use gossip_core::config::{log2n, loglog2n};
+use gossip_core::report::RunReport;
+use gossip_core::CommonConfig;
+use phonecall::{Action, Delivery, Target};
+
+use crate::common::{report_from, rumor_network, BaselineMsg};
+
+/// `c₁`: push-phase extension in units of `log log n`.
+const C1: f64 = 1.0;
+/// `c₂`: pull end-game length in units of `log log n`.
+const C2: f64 = 5.0;
+
+/// Rounds of the push phase for a network of `n` nodes.
+///
+/// Combined push+pull growth is a factor `≈2.5` per round, so
+/// `log₂ n / log₂ 2.5 ≈ 0.76·log₂ n` rounds reach saturation; the window
+/// closes `c₁·log log n` rounds after the *expected* saturation point so
+/// the post-saturation overhang — during which the whole network pushes —
+/// costs only `O(log log n)` transmissions per node. Pushing longer is
+/// exactly what the counter-termination exists to avoid.
+#[must_use]
+pub fn push_phase_rounds(n: usize) -> u64 {
+    (0.65 * log2n(n) + C1 * loglog2n(n)).ceil() as u64
+}
+
+/// Total protocol rounds for a network of `n` nodes.
+#[must_use]
+pub fn total_rounds(n: usize) -> u64 {
+    push_phase_rounds(n) + (C2 * loglog2n(n)).ceil() as u64 + 2
+}
+
+/// Runs the counter-terminated PUSH-PULL for its fixed schedule (the
+/// protocol terminates itself; no global observer is consulted).
+///
+/// ```
+/// use gossip_baselines::{karp, CommonConfig};
+/// let report = karp::run(1 << 10, &CommonConfig::default());
+/// assert!(report.success);
+/// // The headline: O(1) rumor transmissions per node on average.
+/// assert!(report.payload_messages_per_node() < 20.0);
+/// ```
+#[must_use]
+pub fn run(n: usize, cfg: &CommonConfig) -> RunReport {
+    let mut net = rumor_network(n, cfg);
+    let rumor_bits = cfg.rumor_bits;
+    let push_until = push_phase_rounds(n);
+    let total = total_rounds(n);
+
+    for _ in 0..total {
+        net.round(
+            |ctx, _rng| {
+                let s = ctx.state;
+                if s.informed {
+                    let age = ctx.round.saturating_sub(s.birth);
+                    if age <= push_until {
+                        Action::Push {
+                            to: Target::Random,
+                            msg: BaselineMsg::Rumor { birth: s.birth, bits: rumor_bits },
+                        }
+                    } else {
+                        Action::Idle
+                    }
+                } else {
+                    Action::Pull { to: Target::Random }
+                }
+            },
+            |s| s.informed.then_some(BaselineMsg::Rumor { birth: s.birth, bits: rumor_bits }),
+            |s, d| {
+                let rumor = match d {
+                    Delivery::Push { msg: BaselineMsg::Rumor { birth, .. }, .. }
+                    | Delivery::PullReply { msg: BaselineMsg::Rumor { birth, .. }, .. } => {
+                        Some(birth)
+                    }
+                    _ => None,
+                };
+                if let Some(birth) = rumor {
+                    if !s.informed {
+                        s.informed = true;
+                        s.birth = birth;
+                    }
+                }
+            },
+        );
+    }
+    report_from(&net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn informs_everyone() {
+        for seed in 0..5 {
+            let mut cfg = CommonConfig::default();
+            cfg.seed = seed;
+            let r = run(1 << 10, &cfg);
+            assert!(r.success, "seed {seed}: {}/{}", r.informed, r.alive);
+        }
+    }
+
+    #[test]
+    fn transmissions_per_node_stay_flat() {
+        let cfg = CommonConfig::default();
+        let small = run(1 << 9, &cfg);
+        let large = run(1 << 15, &cfg);
+        assert!(small.success && large.success);
+        let growth = large.payload_messages_per_node() / small.payload_messages_per_node();
+        assert!(growth < 1.8, "transmission growth {growth}");
+        let push_large = crate::push::run(1 << 15, &cfg);
+        assert!(
+            large.payload_messages_per_node() < push_large.payload_messages_per_node(),
+            "karp {} must beat push {}",
+            large.payload_messages_per_node(),
+            push_large.payload_messages_per_node()
+        );
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let cfg = CommonConfig::default();
+        let r = run(1 << 12, &cfg);
+        assert_eq!(r.rounds, total_rounds(1 << 12), "fixed self-terminating schedule");
+        assert!(r.rounds as f64 <= 3.0 * log2n(1 << 12) + 40.0, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn tolerates_failures() {
+        let mut cfg = CommonConfig::default();
+        cfg.failures = phonecall::FailurePlan::random(1 << 10, 128, 3);
+        let r = run(1 << 10, &cfg);
+        assert!(r.success, "{}/{} informed", r.informed, r.alive);
+    }
+}

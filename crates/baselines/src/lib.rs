@@ -1,0 +1,31 @@
+//! Baseline gossip algorithms the paper compares against.
+//!
+//! | module | algorithm | rounds | msgs/node |
+//! |---|---|---|---|
+//! | [`push`] | uniform PUSH gossip (Pittel \[12\]) | `Θ(log n)` | `Θ(log n)` |
+//! | [`pull`] | uniform PULL gossip | `Θ(log n)` | `Θ(log n)` requests |
+//! | [`push_pull`] | PUSH-PULL (informed push, uninformed pull) | `Θ(log n)` | `Θ(log n)` |
+//! | [`karp`] | Karp et al. \[10\]-style counter-terminated PUSH-PULL | `Θ(log n)` | `Θ(log log n)` transmissions |
+//! | [`avin_elsasser`] | Avin–Elsässer \[1\] structural reconstruction (fixed-fanout clustering, DESIGN.md §2) | `Θ(√log n)` | `Θ(√log n)` |
+//! | [`name_dropper`] | Name-Dropper resource discovery \[9\] | `Θ(log² n)` | `Θ(log² n)` (large messages) |
+//! | [`tree`] | oracle `Δ`-ary PULL tree (unreachable optimum of Lemma 16) | `⌈log_Δ n⌉` | `O(1)` |
+//!
+//! All of them run on the same [`phonecall`] simulator as the paper's
+//! algorithms, so round/message/bit/fan-in numbers are directly
+//! comparable. Every broadcast baseline returns the same
+//! [`gossip_core::RunReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avin_elsasser;
+pub mod common;
+pub mod karp;
+pub mod name_dropper;
+pub mod pull;
+pub mod push;
+pub mod push_pull;
+pub mod tree;
+
+pub use common::{BaselineMsg, RumorNode};
+pub use gossip_core::CommonConfig;

@@ -1,0 +1,162 @@
+//! **Name-Dropper** (Harchol-Balter, Leighton & Lewin, PODC 1999):
+//! resource discovery with direct addressing.
+//!
+//! Starting from any weakly connected knowledge graph, each node
+//! repeatedly pushes *all* node IDs it knows to a uniformly random node it
+//! knows; `O(log² n)` rounds suffice for every node to know every other
+//! whp. The paper cites this as the classic direct-addressing algorithm
+//! whose `log² n` bound later work (Kutten–Peleg–Vishkin, and ultimately
+//! this paper's `Θ(log log n)` gossip) improved on.
+//!
+//! Note the per-node state and message size are `Θ(n log n)` bits — run
+//! this at moderate `n` (the benches use `n ≤ 2¹¹`).
+
+use std::collections::BTreeSet;
+
+use phonecall::{Action, Delivery, Network, NodeId, Target};
+use rand::Rng;
+use serde::Serialize;
+
+use crate::common::BaselineMsg;
+use gossip_core::CommonConfig;
+
+/// Per-node discovery state: the set of known IDs.
+#[derive(Clone, Debug, Default)]
+pub struct DiscoveryNode {
+    /// IDs this node knows (always contains the own ID).
+    pub known: BTreeSet<NodeId>,
+}
+
+/// Report of a discovery run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct DiscoveryReport {
+    /// Network size.
+    pub n: usize,
+    /// Rounds until the knowledge graph became complete (or the cap).
+    pub rounds: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Total bits (dominated by the `Θ(n log n)`-bit ID lists).
+    pub bits: u64,
+    /// Whether every node knows every other node.
+    pub complete: bool,
+}
+
+/// Initial topology for the discovery task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// A directed ring: node `i` knows node `i+1 mod n` (diameter `n` —
+    /// the hard case).
+    Ring,
+    /// A random graph: each node knows 2 uniformly random others plus its
+    /// ring successor (weakly connected, low diameter).
+    SparseRandom,
+}
+
+/// Runs Name-Dropper until the knowledge graph is complete (or
+/// `4·log₂² n + 40` rounds).
+///
+/// ```
+/// use gossip_baselines::{name_dropper, CommonConfig};
+/// let report = name_dropper::run(64, name_dropper::Topology::Ring, &CommonConfig::default());
+/// assert!(report.complete);
+/// ```
+#[must_use]
+pub fn run(n: usize, topology: Topology, cfg: &CommonConfig) -> DiscoveryReport {
+    assert!(n >= 2, "discovery needs at least two nodes");
+    let mut net: Network<DiscoveryNode> = Network::new(n, cfg.seed);
+    let id_bits = 2 * phonecall::header_bits(n) / 4;
+
+    // Seed the initial knowledge graph.
+    let mut seed_rng = phonecall::rng_from_seed(phonecall::derive_seed(cfg.seed, 77));
+    for i in 0..n {
+        let own = net.id_of(phonecall::NodeIdx(i as u32));
+        let succ = net.id_of(phonecall::NodeIdx(((i + 1) % n) as u32));
+        let st = &mut net.states_mut()[i];
+        st.known.insert(own);
+        st.known.insert(succ);
+    }
+    if topology == Topology::SparseRandom {
+        for i in 0..n {
+            for _ in 0..2 {
+                let j = seed_rng.gen_range(0..n as u32);
+                let id = net.id_of(phonecall::NodeIdx(j));
+                net.states_mut()[i].known.insert(id);
+            }
+        }
+    }
+
+    let l = gossip_core::config::log2n(n);
+    let cap = (4.0 * l * l).ceil() as u64 + 40;
+    let complete_at = |net: &Network<DiscoveryNode>| {
+        net.states().iter().all(|s| s.known.len() == n)
+    };
+    while !complete_at(&net) && net.round_number() < cap {
+        net.round(
+            |ctx, rng| {
+                let known: Vec<NodeId> =
+                    ctx.state.known.iter().copied().filter(|k| *k != ctx.id).collect();
+                if known.is_empty() {
+                    return Action::Idle;
+                }
+                let target = known[rng.gen_range(0..known.len())];
+                let mut ids: Vec<NodeId> = ctx.state.known.iter().copied().collect();
+                ids.push(ctx.id);
+                Action::Push { to: Target::Direct(target), msg: BaselineMsg::IdList { ids, id_bits } }
+            },
+            |_s| None,
+            |s, d| {
+                if let Delivery::Push { msg: BaselineMsg::IdList { ids, .. }, from } = d {
+                    s.known.insert(from);
+                    s.known.extend(ids);
+                }
+            },
+        );
+    }
+
+    let m = net.metrics();
+    DiscoveryReport {
+        n,
+        rounds: m.rounds,
+        messages: m.messages,
+        bits: m.bits,
+        complete: complete_at(&net),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_from_ring() {
+        let r = run(128, Topology::Ring, &CommonConfig::default());
+        assert!(r.complete, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn completes_from_sparse_random() {
+        let r = run(128, Topology::SparseRandom, &CommonConfig::default());
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn rounds_scale_polylogarithmically() {
+        let cfg = CommonConfig::default();
+        let small = run(64, Topology::Ring, &cfg);
+        let large = run(512, Topology::Ring, &cfg);
+        assert!(small.complete && large.complete);
+        // log² scaling: (9/6)² = 2.25; allow generous slack but far below
+        // the linear ratio of 8.
+        let ratio = large.rounds as f64 / small.rounds.max(1) as f64;
+        assert!(ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn random_topology_is_faster_than_ring() {
+        let cfg = CommonConfig::default();
+        let ring = run(256, Topology::Ring, &cfg);
+        let rnd = run(256, Topology::SparseRandom, &cfg);
+        assert!(rnd.rounds <= ring.rounds, "random {} vs ring {}", rnd.rounds, ring.rounds);
+    }
+}

@@ -1,0 +1,46 @@
+//! Wall-clock benches of the baseline algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_baselines::{avin_elsasser, karp, name_dropper, pull, push, push_pull, CommonConfig};
+
+fn bench_broadcast_baselines(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let cfg = CommonConfig::default();
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("push", n), |b| {
+        b.iter(|| push::run(n, &cfg).rounds);
+    });
+    g.bench_function(BenchmarkId::new("pull", n), |b| {
+        b.iter(|| pull::run(n, &cfg).rounds);
+    });
+    g.bench_function(BenchmarkId::new("push_pull", n), |b| {
+        b.iter(|| push_pull::run(n, &cfg).rounds);
+    });
+    g.bench_function(BenchmarkId::new("karp", n), |b| {
+        b.iter(|| karp::run(n, &cfg).rounds);
+    });
+    g.bench_function(BenchmarkId::new("avin_elsasser", n), |b| {
+        b.iter(|| avin_elsasser::run(n, &cfg).rounds);
+    });
+    g.finish();
+}
+
+fn bench_name_dropper(c: &mut Criterion) {
+    let cfg = CommonConfig::default();
+    let mut g = c.benchmark_group("name_dropper");
+    g.sample_size(10);
+    for n in [128usize, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let r = name_dropper::run(n, name_dropper::Topology::Ring, &cfg);
+                assert!(r.complete);
+                r.rounds
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast_baselines, bench_name_dropper);
+criterion_main!(benches);

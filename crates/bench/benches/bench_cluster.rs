@@ -1,0 +1,57 @@
+//! Wall-clock benches of the paper's algorithms (simulation throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_core::{
+    cluster1, cluster2, cluster_push_pull, Cluster1Config, Cluster2Config, PushPullConfig,
+};
+
+fn bench_cluster1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster1");
+    g.sample_size(10);
+    for n in [1usize << 10, 1 << 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = Cluster1Config::default();
+            b.iter(|| {
+                let r = cluster1::run(n, &cfg);
+                assert!(r.success);
+                r.rounds
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster2");
+    g.sample_size(10);
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = Cluster2Config::default();
+            b.iter(|| {
+                let r = cluster2::run(n, &cfg);
+                assert!(r.success);
+                r.rounds
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster_push_pull(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_push_pull");
+    g.sample_size(10);
+    for delta in [32usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
+            let cfg = PushPullConfig::default();
+            b.iter(|| {
+                let r = cluster_push_pull::run(1 << 12, delta, &cfg);
+                assert!(r.success);
+                r.rounds
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster1, bench_cluster2, bench_cluster_push_pull);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! **E1 — Round complexity vs n** (Theorems 2, 9; Theorem 1 quote; §1).
+//!
+//! Claim shapes: Cluster1/Cluster2 `Θ(log log n)`, Avin–Elsässer
+//! `Θ(√log n)`, Karp / PUSH / PULL / PUSH-PULL `Θ(log n)`.
+//!
+//! Prints the measured mean rounds per `(algorithm, n)`, the rounds
+//! normalized by each algorithm's predicted law (flat row = shape holds),
+//! and a model-selection table fitting every candidate law.
+
+use gossip_bench::{emit, ns_header, parse_opts, Algo};
+use gossip_harness::fit::best_fits;
+use gossip_harness::{fit_ratio, geometric_ns, run_trials, AsciiPlot, Table};
+
+fn main() {
+    let opts = parse_opts();
+    let ns = if opts.full { geometric_ns(8, 17, 1) } else { geometric_ns(8, 14, 2) };
+    let trials = if opts.full { 20 } else { 8 };
+
+    let header = ns_header(&["algorithm", "law"], &ns);
+    let cols: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rounds_tbl = Table::new("E1: mean rounds to inform all nodes", &cols);
+
+    let header_b = ns_header(&["algorithm"], &ns);
+    let cols_b: Vec<&str> = header_b.iter().map(String::as_str).collect();
+    let mut norm_tbl =
+        Table::new("E1b: rounds / predicted-law(n)  (flat row = predicted shape holds)", &cols_b);
+
+    let mut fit_tbl = Table::new(
+        "E1c: scaling-law fit (best law by R2, plus predicted law's R2)",
+        &["algorithm", "predicted", "best fit", "best R2", "predicted R2", "c"],
+    );
+
+    let mut fig = AsciiPlot::new("Figure E1: rounds vs n (log-x)", 60, 16);
+    for algo in Algo::all() {
+        let mut means = Vec::new();
+        for &n in &ns {
+            let s = run_trials(0xE1, algo.name(), trials, |seed| algo.run(n, seed).rounds as f64);
+            means.push(s.mean);
+        }
+        let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+        let law = algo.predicted_rounds();
+        let predicted_fit = fit_ratio(&xs, &means, law);
+        let best = best_fits(&xs, &means);
+
+        let mut row = vec![algo.name().to_string(), law.name().to_string()];
+        row.extend(means.iter().map(|m| format!("{m:.1}")));
+        rounds_tbl.push_row(row);
+
+        let mut row = vec![algo.name().to_string()];
+        row.extend(ns.iter().zip(&means).map(|(&n, m)| format!("{:.2}", m / law.eval(n as f64))));
+        norm_tbl.push_row(row);
+
+        fit_tbl.push_row(vec![
+            algo.name().to_string(),
+            law.name().to_string(),
+            best[0].law.name().to_string(),
+            format!("{:.4}", best[0].r2),
+            format!("{:.4}", predicted_fit.r2),
+            format!("{:.2}", predicted_fit.c),
+        ]);
+        fig.add_series(algo.name(), ns.iter().zip(&means).map(|(&n, &m)| (n as f64, m)).collect());
+    }
+
+    emit(&rounds_tbl, opts);
+    println!();
+    emit(&norm_tbl, opts);
+    println!();
+    emit(&fit_tbl, opts);
+    if !opts.csv {
+        println!();
+        print!("{}", fig.render());
+    }
+}

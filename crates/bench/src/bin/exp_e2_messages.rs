@@ -1,0 +1,61 @@
+//! **E2 — Message complexity vs n** (Theorem 2; §1).
+//!
+//! Claim shapes (messages per node on average): Cluster2 `O(1)`, Karp
+//! `O(log log n)` transmissions, Avin–Elsässer `Θ(√log n)`, PUSH
+//! `Θ(log n)`; Cluster1 is unoptimized (`Θ(log log n)` per node with a
+//! large constant).
+//!
+//! Two tables: total messages per node (pull requests included) and
+//! payload-bearing messages per node (the "transmissions" measure of
+//! Karp et al. — header-only pull requests excluded).
+
+use gossip_bench::{emit, ns_header, parse_opts, Algo};
+use gossip_harness::{geometric_ns, run_trials, Table};
+
+fn main() {
+    let opts = parse_opts();
+    let ns = if opts.full { geometric_ns(8, 17, 1) } else { geometric_ns(8, 14, 2) };
+    let trials = if opts.full { 20 } else { 8 };
+
+    let header = ns_header(&["algorithm"], &ns);
+    let cols: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut total_tbl = Table::new("E2: total messages per node (requests included)", &cols);
+    let mut payload_tbl =
+        Table::new("E2b: payload-bearing messages per node (rumor/ID transmissions)", &cols);
+    let mut growth_tbl = Table::new(
+        "E2c: growth factor from smallest to largest n (flat ~ O(1))",
+        &["algorithm", "total growth", "payload growth"],
+    );
+
+    for algo in Algo::all() {
+        let mut totals = Vec::new();
+        let mut payloads = Vec::new();
+        for &n in &ns {
+            let t = run_trials(0xE2, algo.name(), trials, |seed| {
+                algo.run(n, seed).messages_per_node()
+            });
+            let p = run_trials(0xE2B, algo.name(), trials, |seed| {
+                algo.run(n, seed).payload_messages_per_node()
+            });
+            totals.push(t.mean);
+            payloads.push(p.mean);
+        }
+        let mut row = vec![algo.name().to_string()];
+        row.extend(totals.iter().map(|m| format!("{m:.1}")));
+        total_tbl.push_row(row);
+        let mut row = vec![algo.name().to_string()];
+        row.extend(payloads.iter().map(|m| format!("{m:.1}")));
+        payload_tbl.push_row(row);
+        growth_tbl.push_row(vec![
+            algo.name().to_string(),
+            format!("{:.2}x", totals.last().unwrap() / totals.first().unwrap()),
+            format!("{:.2}x", payloads.last().unwrap() / payloads.first().unwrap()),
+        ]);
+    }
+
+    emit(&total_tbl, opts);
+    println!();
+    emit(&payload_tbl, opts);
+    println!();
+    emit(&growth_tbl, opts);
+}

@@ -1,0 +1,75 @@
+//! **E4 — The `Ω(log log n)` lower bound** (Theorem 3/15, Section 6).
+//!
+//! Claim: any algorithm running `T < 0.99·log₂ log₂ n` rounds fails whp —
+//! because success requires `diam(∪_{t≤T} G_t) ≤ 2^T`, and the random
+//! union graph's diameter is `Θ(log n / log log n)`.
+//!
+//! The table estimates `P[diam ≤ 2^T]` per `(n, T)`: a sharp 0→1
+//! threshold around `T ≈ log₂ log₂ n`, with everything at or below the
+//! paper's `0.99·log log n` cutoff at probability 0.
+
+use gossip_bench::{emit, parse_opts};
+use gossip_harness::Table;
+use gossip_lowerbound::knowledge::rounds_to_complete;
+use gossip_lowerbound::theorem3::{estimate_success, paper_threshold};
+
+fn main() {
+    let opts = parse_opts();
+    let (ns, trials): (Vec<usize>, u32) = if opts.full {
+        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18], 30)
+    } else {
+        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16], 12)
+    };
+    let ts: Vec<u32> = (1..=8).collect();
+
+    let mut header: Vec<String> = vec!["n".into(), "0.99*loglog n".into()];
+    header.extend(ts.iter().map(|t| format!("T={t}")));
+    let cols: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut tbl = Table::new("E4: P[diam(union of T sample graphs) <= 2^T]", &cols);
+
+    for &n in &ns {
+        let mut row = vec![
+            format!("2^{}", n.trailing_zeros()),
+            format!("{:.2}", paper_threshold(n)),
+        ];
+        for &t in &ts {
+            let p = estimate_success(n, t, trials, 0xE4);
+            row.push(format!("{p:.2}"));
+        }
+        tbl.push_row(row);
+    }
+    emit(&tbl, opts);
+    println!();
+
+    // Constructive side: the most powerful conceivable algorithm
+    // (Lemma 14 dynamics — unbounded messages, unbounded fan-out, full
+    // cooperation) completes in loglog n + O(1) rounds, bracketing the
+    // threshold from above.
+    let mut k_tbl = Table::new(
+        "E4b: rounds for the most powerful algorithm (Lemma 14 dynamics) to complete",
+        &["n", "loglog n", "rounds (mean of 5 seeds)"],
+    );
+    // The knowledge matrix closure is ~O(n^3/64) when dense — keep n modest.
+    let kns: Vec<usize> =
+        if opts.full { vec![1 << 6, 1 << 8, 1 << 10, 1 << 12] } else { vec![1 << 6, 1 << 8, 1 << 10] };
+    for &n in &kns {
+        let mean: f64 = (0..5)
+            .map(|s| f64::from(rounds_to_complete(n, s, 30).expect("completes")))
+            .sum::<f64>()
+            / 5.0;
+        k_tbl.push_row(vec![
+            format!("2^{}", n.trailing_zeros()),
+            format!("{:.2}", gossip_core::config::loglog2n(n)),
+            format!("{mean:.1}"),
+        ]);
+    }
+    emit(&k_tbl, opts);
+    println!();
+    println!(
+        "Reading: columns T at or below 0.99*loglog n are 0.00 (Theorem 3:\n\
+         no algorithm — even with unbounded messages and fan-out — can\n\
+         finish); success flips to 1.00 within ~2 rounds above the threshold,\n\
+         and the omnipotent Lemma 14 dynamics (E4b) completes right there —\n\
+         the Theta(log log n) of Cluster1/Cluster2 is optimal."
+    );
+}

@@ -1,0 +1,80 @@
+//! **E6 — The round / fan-in trade-off curve** (Lemma 16 + Lemma 17).
+//!
+//! Claims: with fan-in bounded by `Δ`, *any* algorithm needs
+//! `≥ log n / log Δ` rounds (Lemma 16); ClusterPUSH-PULL over a
+//! `Δ`-clustering achieves `O(log n / log Δ)` rounds with `O(n)` rumor
+//! transmissions (Lemma 17). Sweeping `Δ` at fixed `n` traces the curve.
+
+use gossip_bench::{emit, parse_opts};
+use gossip_core::config::log2n;
+use gossip_core::{cluster_push_pull, PushPullConfig};
+use gossip_harness::{run_trials, Table};
+
+fn main() {
+    let opts = parse_opts();
+    let n: usize = if opts.full { 1 << 15 } else { 1 << 13 };
+    let trials = if opts.full { 10 } else { 5 };
+    let deltas: Vec<usize> = if opts.full {
+        vec![16, 32, 64, 128, 256, 512, 1024, 2048]
+    } else {
+        vec![16, 64, 256, 1024]
+    };
+
+    let mut tbl = Table::new(
+        format!("E6: broadcast over a delta-clustering at n = 2^{}", n.trailing_zeros()),
+        &[
+            "delta",
+            "lower bound log n/log delta'",
+            "oracle tree rounds",
+            "loop iterations",
+            "iters/bound",
+            "total rounds",
+            "payload msgs/node",
+            "max fan-in",
+            "success",
+        ],
+    );
+
+    for &delta in &deltas {
+        let mut fan_max = 0u64;
+        let mut ok = true;
+        let mut payload = 0.0;
+        let mut total_rounds = 0.0;
+        let loop_rounds = run_trials(0xE6, &format!("d{delta}"), trials, |seed| {
+            let mut cfg = PushPullConfig::default();
+            cfg.common.seed = seed;
+            let r = cluster_push_pull::run(n, delta, &cfg);
+            fan_max = fan_max.max(r.max_fan_in);
+            ok &= r.success;
+            payload += r.payload_messages_per_node();
+            total_rounds += r.rounds as f64;
+            // 4 engine rounds per loop iteration (push, 2-round share, pull).
+            r.phases
+                .iter()
+                .find(|p| p.name == "PushPullLoop")
+                .map_or(0.0, |p| p.rounds as f64 / 4.0)
+        });
+        let bound = log2n(n) / (delta as f64 / 4.0).log2().max(1.0);
+        let oracle = gossip_baselines::tree::predicted_rounds(n, delta);
+        tbl.push_row(vec![
+            delta.to_string(),
+            format!("{bound:.1}"),
+            oracle.to_string(),
+            format!("{:.1}", loop_rounds.mean),
+            format!("{:.2}", loop_rounds.mean / bound),
+            format!("{:.0}", total_rounds / f64::from(trials)),
+            format!("{:.1}", payload / f64::from(trials)),
+            fan_max.to_string(),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    emit(&tbl, opts);
+    println!();
+    println!(
+        "Reading: loop rounds track the Lemma 16 bound log n / log delta'\n\
+         (ratio ~constant across two orders of magnitude of delta), fan-in\n\
+         stays below delta, and rumor transmissions stay O(1) per node. The\n\
+         oracle tree column is the unreachable free-addresses optimum\n\
+         (baselines::tree): the gap to it is the price of address learning."
+    );
+}

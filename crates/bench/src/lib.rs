@@ -1,0 +1,163 @@
+//! Shared helpers for the `exp_*` experiment binaries (see
+//! EXPERIMENTS.md): algorithm registry, sweep presets and flag parsing.
+//!
+//! Every binary accepts `--full` for the larger grids recorded in
+//! EXPERIMENTS.md and `--csv` to emit CSV instead of markdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gossip_baselines::{avin_elsasser, karp, pull, push, push_pull};
+use gossip_core::report::RunReport;
+use gossip_core::{cluster1, cluster2, Cluster1Config, Cluster2Config, CommonConfig};
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpOpts {
+    /// Use the larger sweep recorded in EXPERIMENTS.md.
+    pub full: bool,
+    /// Emit CSV instead of markdown.
+    pub csv: bool,
+}
+
+/// Parses the standard experiment flags from `std::env::args`.
+#[must_use]
+pub fn parse_opts() -> ExpOpts {
+    let mut o = ExpOpts::default();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--full" => o.full = true,
+            "--csv" => o.csv = true,
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    o
+}
+
+/// Builds a table header: fixed prefix columns followed by one `n=2^k`
+/// column per sweep size.
+#[must_use]
+pub fn ns_header(prefix: &[&str], ns: &[usize]) -> Vec<String> {
+    let mut h: Vec<String> = prefix.iter().map(|p| (*p).to_string()).collect();
+    h.extend(ns.iter().map(|n| format!("n=2^{}", n.trailing_zeros())));
+    h
+}
+
+/// Prints a table in the format selected by the options.
+pub fn emit(table: &gossip_harness::Table, opts: ExpOpts) {
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+}
+
+/// The broadcast algorithms compared across experiments E1–E3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Algorithm 1 of the paper.
+    Cluster1,
+    /// Algorithm 2 of the paper (the headline result).
+    Cluster2,
+    /// Avin–Elsässer reconstruction.
+    AvinElsasser,
+    /// Karp et al. counter-terminated push-pull.
+    Karp,
+    /// Plain PUSH.
+    Push,
+    /// Plain PULL.
+    Pull,
+    /// PUSH-PULL.
+    PushPull,
+}
+
+impl Algo {
+    /// All compared algorithms, headline first.
+    #[must_use]
+    pub fn all() -> [Algo; 7] {
+        [
+            Algo::Cluster2,
+            Algo::Cluster1,
+            Algo::AvinElsasser,
+            Algo::Karp,
+            Algo::PushPull,
+            Algo::Push,
+            Algo::Pull,
+        ]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Cluster1 => "Cluster1",
+            Algo::Cluster2 => "Cluster2",
+            Algo::AvinElsasser => "AvinElsasser",
+            Algo::Karp => "Karp",
+            Algo::Push => "Push",
+            Algo::Pull => "Pull",
+            Algo::PushPull => "PushPull",
+        }
+    }
+
+    /// The paper's predicted round-complexity law for this algorithm.
+    #[must_use]
+    pub fn predicted_rounds(self) -> gossip_harness::ScalingLaw {
+        use gossip_harness::ScalingLaw as L;
+        match self {
+            Algo::Cluster1 | Algo::Cluster2 => L::LogLog,
+            Algo::AvinElsasser => L::SqrtLog,
+            Algo::Karp | Algo::Push | Algo::Pull | Algo::PushPull => L::Log,
+        }
+    }
+
+    /// Runs the algorithm with the given size and seed, default rumor.
+    #[must_use]
+    pub fn run(self, n: usize, seed: u64) -> RunReport {
+        self.run_with(n, seed, 256)
+    }
+
+    /// Runs the algorithm with an explicit rumor size.
+    #[must_use]
+    pub fn run_with(self, n: usize, seed: u64, rumor_bits: u64) -> RunReport {
+        let mut common = CommonConfig::default();
+        common.seed = seed;
+        common.rumor_bits = rumor_bits;
+        match self {
+            Algo::Cluster1 => {
+                let mut c = Cluster1Config::default();
+                c.common = common;
+                cluster1::run(n, &c)
+            }
+            Algo::Cluster2 => {
+                let mut c = Cluster2Config::default();
+                c.common = common;
+                cluster2::run(n, &c)
+            }
+            Algo::AvinElsasser => avin_elsasser::run(n, &common),
+            Algo::Karp => karp::run(n, &common),
+            Algo::Push => push::run(n, &common),
+            Algo::Pull => pull::run(n, &common),
+            Algo::PushPull => push_pull::run(n, &common),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_succeeds_at_small_n() {
+        for algo in Algo::all() {
+            let r = algo.run(512, 1);
+            assert!(r.success, "{} failed: {}/{}", algo.name(), r.informed, r.alive);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::BTreeSet<_> = Algo::all().iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,244 @@
+//! Run configuration and the explicit constants behind the paper's `Θ(·)`s.
+//!
+//! The paper states loop lengths and thresholds asymptotically
+//! (`Θ(log log n)` iterations, sampling probability `1/C log n`, …). A
+//! running implementation must pick constants; this module is the single
+//! place they live, so experiments and ablations can vary them. Defaults
+//! were validated across `n ∈ [2^8, 2^20]` (see the integration tests and
+//! EXPERIMENTS.md).
+
+use phonecall::FailurePlan;
+use serde::{Deserialize, Serialize};
+
+/// Parameters shared by every algorithm run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommonConfig {
+    /// Seed for all randomness of the run.
+    pub seed: u64,
+    /// Rumor size `b` in bits. The paper assumes `b = Ω(log n)`; the
+    /// default (256) is a typical small payload.
+    pub rumor_bits: u64,
+    /// Dense index of the node that initially knows the rumor.
+    pub source: u32,
+    /// Additional initial rumor holders — the paper's broadcast task
+    /// allows the rumor to start at "one node (or multiple nodes)".
+    pub extra_sources: Vec<u32>,
+    /// Nodes the oblivious adversary fails at time 0.
+    pub failures: FailurePlan,
+    /// Independent per-message loss probability (transient link failures
+    /// — the paper's introduction names these among the failures gossip
+    /// tolerates; 0.0 is the base model of Section 2).
+    pub message_loss: f64,
+}
+
+impl Default for CommonConfig {
+    fn default() -> Self {
+        CommonConfig {
+            seed: 0xC0FFEE,
+            rumor_bits: 256,
+            source: 0,
+            extra_sources: Vec::new(),
+            failures: FailurePlan::none(),
+            message_loss: 0.0,
+        }
+    }
+}
+
+impl CommonConfig {
+    /// Same configuration with a different seed (for multi-trial sweeps).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Tuning for [`crate::cluster1`] (Algorithm 1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster1Config {
+    /// Shared parameters.
+    pub common: CommonConfig,
+    /// `C`: initial leaders are sampled with probability `1/(C·log₂ n)`.
+    pub c_sample: f64,
+    /// `C'`: the initial cluster-size floor is `C'·log₂ n`
+    /// (`ClusterDissolve` threshold). The paper requires `C' ≪ C`.
+    pub c_min: f64,
+    /// Extra rounds added to the computed `GrowInitialClusters` budget.
+    pub grow_slack: u32,
+    /// Safety divisor in the squaring schedule `s ← s²/safety` (absorbs
+    /// collision losses so the schedule never overshoots real sizes).
+    pub square_safety: f64,
+    /// Extra rounds added to the computed `UnclusteredNodesPull` budget.
+    pub pull_slack: u32,
+}
+
+impl Default for Cluster1Config {
+    fn default() -> Self {
+        Cluster1Config {
+            common: CommonConfig::default(),
+            c_sample: 8.0,
+            c_min: 1.0,
+            grow_slack: 3,
+            square_safety: 4.0,
+            pull_slack: 4,
+        }
+    }
+}
+
+/// Tuning for [`crate::cluster2`] (Algorithm 2).
+///
+/// The paper's exponents (`1/C log⁴ n` sampling, `C' log³ n` caps) only
+/// separate scales at astronomically large `n`; at laptop scales
+/// (`n ≤ 2^22`) they degenerate (e.g. `√n/log² n < 1`). We keep the
+/// *mechanisms* — a `Θ(n/log n)` clustered backbone, growth-stall
+/// detection at `2 − 1/log n`, continuous resizing, squaring with a
+/// `1/log n` hit-rate penalty, a bounded PUSH before the final PULL — and
+/// use one power of `log n` less so every phase is exercised at practical
+/// sizes. DESIGN.md §2 documents this substitution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster2Config {
+    /// Shared parameters.
+    pub common: CommonConfig,
+    /// Initial leaders are sampled with probability
+    /// `1/(c_sample·log₂² n)`.
+    pub c_sample: f64,
+    /// Size cap during controlled growth is `c_cap·log₂ n`; together with
+    /// `c_sample = c_cap` this makes the clustered backbone plateau at
+    /// `≈ n/log₂ n` nodes exactly when the stall rule `2 − 1/log n`
+    /// triggers.
+    pub c_cap: f64,
+    /// Extra rounds for the growth loop beyond the computed budget.
+    pub grow_slack: u32,
+    /// Safety divisor in the squaring schedule `s ← s²·f/safety`.
+    pub square_safety: f64,
+    /// Growth-stall threshold of `BoundedClusterPush` (paper: 1.1).
+    pub bounded_push_stall: f64,
+    /// Extra rounds for `BoundedClusterPush` beyond the computed budget.
+    pub bounded_push_slack: u32,
+    /// Extra rounds for the final PULL phase.
+    pub pull_slack: u32,
+    /// The network size the *nodes believe* (guess-test-and-double,
+    /// Section 2). `None` means the true `n` is known — the paper's
+    /// default assumption. All sampling probabilities and round budgets
+    /// are computed from this value when set.
+    pub assumed_n: Option<usize>,
+}
+
+impl Default for Cluster2Config {
+    fn default() -> Self {
+        Cluster2Config {
+            common: CommonConfig::default(),
+            c_sample: 8.0,
+            c_cap: 8.0,
+            grow_slack: 4,
+            square_safety: 4.0,
+            bounded_push_stall: 1.1,
+            bounded_push_slack: 4,
+            pull_slack: 4,
+            assumed_n: None,
+        }
+    }
+}
+
+impl Cluster2Config {
+    /// The size the protocol's parameters are computed from: the assumed
+    /// size when set (guess-test-and-double), else the true size.
+    #[must_use]
+    pub fn parameter_n(&self, true_n: usize) -> usize {
+        self.assumed_n.unwrap_or(true_n).max(2)
+    }
+}
+
+/// Tuning for [`crate::cluster3`] (Algorithm 4 — `Δ`-clustering).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster3Config {
+    /// Shared parameters.
+    pub common: CommonConfig,
+    /// Underlying Cluster2-style growth/squaring constants.
+    pub c2: Cluster2Config,
+    /// `C''`: cluster-size head-room below `Δ`. Working sizes are
+    /// `Δ/c_headroom`; resizing bounds clusters by `2Δ/C''` and a single
+    /// recruit round can at most double that before the next resize, so
+    /// `C'' ≥ 5` keeps every transient (`4Δ/C''` plus pull-round joins)
+    /// strictly below `Δ`.
+    pub c_headroom: f64,
+    /// Activation multiplier in `MergeClusters` (paper: 10).
+    pub merge_boost: f64,
+}
+
+impl Default for Cluster3Config {
+    fn default() -> Self {
+        Cluster3Config {
+            common: CommonConfig::default(),
+            c2: Cluster2Config::default(),
+            c_headroom: 5.0,
+            merge_boost: 10.0,
+        }
+    }
+}
+
+/// Tuning for [`crate::cluster_push_pull`] (Algorithm 3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PushPullConfig {
+    /// Shared parameters.
+    pub common: CommonConfig,
+    /// The `Δ`-clustering construction parameters.
+    pub cluster3: Cluster3Config,
+    /// Extra main-loop iterations beyond the computed
+    /// `⌈log n / log Δ'⌉` budget.
+    pub loop_slack: u32,
+}
+
+impl Default for PushPullConfig {
+    fn default() -> Self {
+        PushPullConfig {
+            common: CommonConfig::default(),
+            cluster3: Cluster3Config::default(),
+            loop_slack: 3,
+        }
+    }
+}
+
+/// `log₂ n`, floored at 1 (the ubiquitous `L` of the budget formulas).
+#[must_use]
+pub fn log2n(n: usize) -> f64 {
+    (n.max(2) as f64).log2().max(1.0)
+}
+
+/// `log₂ log₂ n`, floored at 1 (`LL` of the budget formulas).
+#[must_use]
+pub fn loglog2n(n: usize) -> f64 {
+    log2n(n).log2().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c1 = Cluster1Config::default();
+        assert!(c1.c_min < c1.c_sample, "the paper requires C' << C");
+        let c2 = Cluster2Config::default();
+        assert!((c2.c_sample - c2.c_cap).abs() < f64::EPSILON, "plateau calibration");
+        assert!(c2.bounded_push_stall > 1.0);
+        let c3 = Cluster3Config::default();
+        assert!(c3.c_headroom >= 4.0, "transient doubling must stay under delta");
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert!((log2n(1024) - 10.0).abs() < 1e-9);
+        assert!((loglog2n(1 << 16) - 4.0).abs() < 1e-9);
+        assert!((log2n(1) - 1.0).abs() < 1e-9, "floored at 1");
+        assert!((loglog2n(2) - 1.0).abs() < 1e-9, "floored at 1");
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = CommonConfig::default();
+        let b = a.clone().with_seed(9);
+        assert_eq!(b.seed, 9);
+        assert_eq!(a.rumor_bits, b.rumor_bits);
+    }
+}

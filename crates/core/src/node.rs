@@ -1,0 +1,161 @@
+//! Per-node algorithm state.
+
+use phonecall::NodeId;
+
+use crate::follow::Follow;
+use crate::msg::Msg;
+
+/// The state a node carries through any of the cluster algorithms.
+///
+/// Fields fall into three groups: the *protocol* state the paper describes
+/// (`follow`, activation, informedness), *leader* working memory (member
+/// lists, merge candidates, the prepared pull response), and per-primitive
+/// scratch (the recruit inbox). Everything here is node-local; algorithms
+/// only read other nodes' state through simulated messages.
+#[derive(Clone, Debug)]
+pub struct ClusterNode {
+    /// This node's own wire ID.
+    pub id: NodeId,
+    /// The clustering variable of Section 3.1.
+    pub follow: Follow,
+    /// Whether this node's cluster is currently activated
+    /// (`ClusterActivate`); also used as the "keep recruiting" flag in the
+    /// growth-controlled phases.
+    pub active: bool,
+    /// Whether this node knows the rumor.
+    pub informed: bool,
+    /// Iteration at which this node's cluster became informed
+    /// (ClusterPushPull's "newly informed" tracking).
+    pub informed_at: Option<u32>,
+
+    /// Recruit/candidate IDs received via random pushes this iteration.
+    pub inbox: Vec<NodeId>,
+    /// Leader: member IDs collected in the latest collect round (includes
+    /// the leader itself).
+    pub members: Vec<NodeId>,
+    /// Leader: merge candidates relayed by members this iteration.
+    pub candidates: Vec<NodeId>,
+    /// Cluster advertisements `(leader, size)` gathered during
+    /// consolidation pulls.
+    pub ads: Vec<(NodeId, u64)>,
+    /// Set when this node's cluster merged and its pointer may be one hop
+    /// stale (restricts flattening pulls to affected nodes).
+    pub needs_flatten: bool,
+    /// The prepared address-oblivious pull response for the current round.
+    pub response: Option<Msg>,
+
+    /// Last measured cluster size (leader: measured; follower: last value
+    /// pulled from the leader).
+    pub size: u64,
+    /// Cluster size at the previous measurement, for growth-rate stopping
+    /// rules.
+    pub prev_size: u64,
+}
+
+impl ClusterNode {
+    /// Fresh, unclustered, uninformed node state.
+    #[must_use]
+    pub fn new(id: NodeId) -> Self {
+        ClusterNode {
+            id,
+            follow: Follow::Unclustered,
+            active: false,
+            informed: false,
+            informed_at: None,
+            inbox: Vec::new(),
+            members: Vec::new(),
+            candidates: Vec::new(),
+            ads: Vec::new(),
+            needs_flatten: false,
+            response: None,
+            size: 1,
+            prev_size: 1,
+        }
+    }
+
+    /// Whether this node belongs to a cluster.
+    #[must_use]
+    pub fn is_clustered(&self) -> bool {
+        self.follow.is_clustered()
+    }
+
+    /// Whether this node is a cluster leader.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        self.follow.is_leader_for(self.id)
+    }
+
+    /// Whether this node is a cluster follower (clustered, not the leader).
+    #[must_use]
+    pub fn is_follower(&self) -> bool {
+        self.is_clustered() && !self.is_leader()
+    }
+
+    /// The leader this node follows, if clustered.
+    #[must_use]
+    pub fn leader(&self) -> Option<NodeId> {
+        self.follow.leader()
+    }
+
+    /// Makes this node the leader of a fresh singleton cluster.
+    pub fn become_singleton_leader(&mut self) {
+        self.follow = Follow::Of(self.id);
+        self.size = 1;
+        self.prev_size = 1;
+    }
+
+    /// Clears all per-primitive scratch buffers.
+    pub fn clear_scratch(&mut self) {
+        self.inbox.clear();
+        self.members.clear();
+        self.candidates.clear();
+        self.ads.clear();
+        self.response = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_unclustered() {
+        let n = ClusterNode::new(NodeId::from_raw(1));
+        assert!(!n.is_clustered());
+        assert!(!n.is_leader());
+        assert!(!n.is_follower());
+        assert!(!n.informed);
+    }
+
+    #[test]
+    fn singleton_leader_roles() {
+        let mut n = ClusterNode::new(NodeId::from_raw(1));
+        n.become_singleton_leader();
+        assert!(n.is_leader());
+        assert!(n.is_clustered());
+        assert!(!n.is_follower());
+        assert_eq!(n.leader(), Some(NodeId::from_raw(1)));
+    }
+
+    #[test]
+    fn follower_roles() {
+        let mut n = ClusterNode::new(NodeId::from_raw(1));
+        n.follow = Follow::Of(NodeId::from_raw(2));
+        assert!(n.is_follower());
+        assert!(!n.is_leader());
+        assert_eq!(n.leader(), Some(NodeId::from_raw(2)));
+    }
+
+    #[test]
+    fn clear_scratch_resets_buffers() {
+        let mut n = ClusterNode::new(NodeId::from_raw(1));
+        n.inbox.push(NodeId::from_raw(2));
+        n.members.push(NodeId::from_raw(3));
+        n.candidates.push(NodeId::from_raw(4));
+        n.ads.push((NodeId::from_raw(5), 3));
+        n.clear_scratch();
+        assert!(n.inbox.is_empty() && n.members.is_empty() && n.candidates.is_empty());
+        assert!(n.ads.is_empty());
+        assert!(n.response.is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Run reports: what an algorithm run cost and whether it succeeded.
+
+use serde::Serialize;
+
+/// Cost of one named phase of an algorithm.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct PhaseReport {
+    /// Phase name (e.g. `"GrowInitialClusters"`).
+    pub name: &'static str,
+    /// Rounds spent in the phase.
+    pub rounds: u64,
+    /// Messages sent during the phase.
+    pub messages: u64,
+    /// Bits sent during the phase.
+    pub bits: u64,
+}
+
+/// Snapshot statistics of a clustering.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct ClusteringStats {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Alive clustered nodes.
+    pub clustered: usize,
+    /// Alive unclustered nodes.
+    pub unclustered: usize,
+    /// Smallest cluster size (0 when there are no clusters).
+    pub min_size: usize,
+    /// Largest cluster size.
+    pub max_size: usize,
+    /// Mean cluster size.
+    pub mean_size: f64,
+}
+
+/// Full report of one algorithm run.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct RunReport {
+    /// Network size.
+    pub n: usize,
+    /// Alive nodes (after time-0 failures).
+    pub alive: usize,
+    /// Rounds used.
+    pub rounds: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Payload-bearing messages (rumor transmissions + ID-carrying
+    /// messages; excludes header-only pull requests).
+    pub payload_messages: u64,
+    /// Total bits.
+    pub bits: u64,
+    /// Maximum per-round per-node communications (the `Δ` of Section 7).
+    pub max_fan_in: u64,
+    /// Largest single message in bits (Section 3.2 footnote: `Θ(log n)`
+    /// except rumor shares and resize announcements).
+    pub max_message_bits: u64,
+    /// Alive nodes that know the rumor at the end.
+    pub informed: usize,
+    /// Whether every alive node was informed.
+    pub success: bool,
+    /// Final clustering snapshot.
+    pub clustering: ClusteringStats,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl RunReport {
+    /// Average messages per node — the paper's message-complexity measure.
+    #[must_use]
+    pub fn messages_per_node(&self) -> f64 {
+        self.messages as f64 / self.n as f64
+    }
+
+    /// Average payload-bearing messages per node.
+    #[must_use]
+    pub fn payload_messages_per_node(&self) -> f64 {
+        self.payload_messages as f64 / self.n as f64
+    }
+
+    /// Total bits divided by `n`.
+    #[must_use]
+    pub fn bits_per_node(&self) -> f64 {
+        self.bits as f64 / self.n as f64
+    }
+
+    /// Alive nodes left uninformed.
+    #[must_use]
+    pub fn uninformed(&self) -> usize {
+        self.alive - self.informed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            n: 100,
+            alive: 90,
+            rounds: 12,
+            messages: 500,
+            payload_messages: 300,
+            bits: 10_000,
+            max_fan_in: 30,
+            max_message_bits: 99,
+            informed: 88,
+            success: false,
+            clustering: ClusteringStats::default(),
+            phases: vec![],
+        }
+    }
+
+    #[test]
+    fn per_node_measures() {
+        let r = report();
+        assert!((r.messages_per_node() - 5.0).abs() < 1e-12);
+        assert!((r.payload_messages_per_node() - 3.0).abs() < 1e-12);
+        assert!((r.bits_per_node() - 100.0).abs() < 1e-12);
+        assert_eq!(r.uninformed(), 2);
+    }
+
+    #[test]
+    fn serializes() {
+        let r = report();
+        let _cloned = r.clone();
+        assert_eq!(r, _cloned);
+    }
+}

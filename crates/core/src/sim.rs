@@ -1,0 +1,281 @@
+//! [`ClusterSim`]: a phone-call network of [`ClusterNode`]s plus the
+//! run-level bookkeeping (message factory, algorithm RNG, phase capture).
+//!
+//! The struct is deliberately thin: all protocol behaviour lives in
+//! [`crate::primitives`] and the algorithm modules; `ClusterSim` provides
+//! the pieces they share. It also offers **engine-side observation**
+//! helpers (cluster maps, informed counts) used by tests, reports and
+//! experiments — these read global state and are *never* consulted by the
+//! simulated nodes themselves.
+
+use std::collections::HashMap;
+
+use phonecall::{FailurePlan, Network, NodeId, NodeIdx};
+use rand::rngs::SmallRng;
+
+use crate::config::CommonConfig;
+use crate::msg::{Msg, MsgKind};
+use crate::node::ClusterNode;
+use crate::report::{ClusteringStats, PhaseReport};
+
+/// A simulation of `n` cluster nodes under one algorithm run.
+#[derive(Debug)]
+pub struct ClusterSim {
+    /// The underlying phone-call network.
+    pub net: Network<ClusterNode>,
+    /// Width of a node ID on the wire: `2·⌈log₂ n⌉` bits (polynomial ID
+    /// space).
+    pub id_bits: u64,
+    /// Rumor size `b` in bits.
+    pub rumor_bits: u64,
+    /// RNG for algorithm-level coins (leader activation flips etc.),
+    /// independent of the engine's target-sampling stream.
+    pub rng: SmallRng,
+    phases: Vec<PhaseReport>,
+    phase_start: (u64, u64, u64),
+}
+
+impl ClusterSim {
+    /// Builds a simulation of `n` nodes, applies the failure plan, and
+    /// marks the source node informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the source index is out of range.
+    #[must_use]
+    pub fn new(n: usize, common: &CommonConfig) -> Self {
+        assert!(n >= 2, "gossip needs at least two nodes");
+        assert!((common.source as usize) < n, "source index out of range");
+        let net = Network::with_state_fn(n, common.seed, |_idx, id| ClusterNode::new(id));
+        let mut sim = ClusterSim {
+            net,
+            id_bits: 2 * phonecall::header_bits(n) / 4, // 2·⌈log₂ n⌉
+            rumor_bits: common.rumor_bits,
+            rng: phonecall::rng_from_seed(phonecall::derive_seed(common.seed, 3)),
+            phases: Vec::new(),
+            phase_start: (0, 0, 0),
+        };
+        sim.apply_failures(&common.failures);
+        sim.net.set_message_loss(common.message_loss);
+        sim.net.states_mut()[common.source as usize].informed = true;
+        for &extra in &common.extra_sources {
+            assert!((extra as usize) < n, "extra source index out of range");
+            sim.net.states_mut()[extra as usize].informed = true;
+        }
+        sim
+    }
+
+    /// Applies (additional) failures.
+    pub fn apply_failures(&mut self, plan: &FailurePlan) {
+        self.net.apply_failures(plan);
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.net.len()
+    }
+
+    /// Builds a message stamped with this run's wire sizes.
+    #[must_use]
+    pub fn msg(&self, kind: MsgKind) -> Msg {
+        Msg::new(kind, self.id_bits, self.rumor_bits)
+    }
+
+    // ------------------------------------------------------------------
+    // Phase capture
+    // ------------------------------------------------------------------
+
+    /// Marks the start of a named phase; [`Self::end_phase`] closes it.
+    pub fn begin_phase(&mut self) {
+        let m = self.net.metrics();
+        self.phase_start = (m.rounds, m.messages, m.bits);
+    }
+
+    /// Closes the phase opened by the last [`Self::begin_phase`] and
+    /// records its round/message/bit deltas under `name`.
+    pub fn end_phase(&mut self, name: &'static str) {
+        let m = self.net.metrics();
+        let (r0, m0, b0) = self.phase_start;
+        self.phases.push(PhaseReport {
+            name,
+            rounds: m.rounds - r0,
+            messages: m.messages - m0,
+            bits: m.bits - b0,
+        });
+    }
+
+    /// The recorded phases so far.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseReport] {
+        &self.phases
+    }
+
+    /// Consumes the recorded phases (used when assembling the final
+    /// report).
+    #[must_use]
+    pub fn take_phases(&mut self) -> Vec<PhaseReport> {
+        std::mem::take(&mut self.phases)
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-side observation (tests / reports only)
+    // ------------------------------------------------------------------
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.net.alive_count()
+    }
+
+    /// Number of alive clustered nodes.
+    #[must_use]
+    pub fn clustered_count(&self) -> usize {
+        self.alive_states().filter(|s| s.is_clustered()).count()
+    }
+
+    /// Number of alive informed nodes.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.alive_states().filter(|s| s.informed).count()
+    }
+
+    /// Iterator over alive node states.
+    pub fn alive_states(&self) -> impl Iterator<Item = &ClusterNode> {
+        self.net
+            .states()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.net.is_alive(NodeIdx(*i as u32)))
+            .map(|(_, s)| s)
+    }
+
+    /// Groups alive clustered nodes by the leader they follow.
+    ///
+    /// Note this groups by raw `follow` value; stale pointers (mid-merge)
+    /// appear as clusters keyed by a non-leader. [`crate::verify`] checks
+    /// for that.
+    #[must_use]
+    pub fn cluster_map(&self) -> HashMap<NodeId, Vec<NodeIdx>> {
+        let mut map: HashMap<NodeId, Vec<NodeIdx>> = HashMap::new();
+        for (i, s) in self.net.states().iter().enumerate() {
+            let idx = NodeIdx(i as u32);
+            if !self.net.is_alive(idx) {
+                continue;
+            }
+            if let Some(l) = s.leader() {
+                map.entry(l).or_default().push(idx);
+            }
+        }
+        map
+    }
+
+    /// Summary statistics of the current clustering.
+    #[must_use]
+    pub fn clustering_stats(&self) -> ClusteringStats {
+        let map = self.cluster_map();
+        let sizes: Vec<usize> = map.values().map(Vec::len).collect();
+        let clustered: usize = sizes.iter().sum();
+        let alive = self.alive_count();
+        ClusteringStats {
+            clusters: map.len(),
+            clustered,
+            unclustered: alive - clustered,
+            min_size: sizes.iter().copied().min().unwrap_or(0),
+            max_size: sizes.iter().copied().max().unwrap_or(0),
+            mean_size: if map.is_empty() { 0.0 } else { clustered as f64 / map.len() as f64 },
+        }
+    }
+
+    /// Clears every node's scratch buffers (between phases).
+    pub fn clear_all_scratch(&mut self) {
+        for s in self.net.states_mut() {
+            s.clear_scratch();
+        }
+    }
+
+    /// Assembles the final [`crate::report::RunReport`] from the metrics,
+    /// informedness and clustering state, consuming the recorded phases.
+    #[must_use]
+    pub fn report(&mut self) -> crate::report::RunReport {
+        let m = self.net.metrics();
+        let alive = self.alive_count();
+        let informed = self.informed_count();
+        crate::report::RunReport {
+            n: self.n(),
+            alive,
+            rounds: m.rounds,
+            messages: m.messages,
+            payload_messages: m.payload_messages,
+            bits: m.bits,
+            max_fan_in: m.max_fan_in,
+            max_message_bits: m.max_message_bits,
+            informed,
+            success: informed == alive,
+            clustering: self.clustering_stats(),
+            phases: self.take_phases(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::follow::Follow;
+
+    fn sim(n: usize) -> ClusterSim {
+        ClusterSim::new(n, &CommonConfig::default())
+    }
+
+    #[test]
+    fn source_starts_informed() {
+        let s = sim(16);
+        assert_eq!(s.informed_count(), 1);
+        assert!(s.net.states()[0].informed);
+    }
+
+    #[test]
+    fn id_bits_scale_with_n() {
+        assert_eq!(sim(1 << 10).id_bits, 20);
+        assert_eq!(sim(1 << 16).id_bits, 32);
+    }
+
+    #[test]
+    fn cluster_map_groups_by_leader() {
+        let mut s = sim(8);
+        let leader = s.net.id_of(NodeIdx(3));
+        for i in [1usize, 2, 3] {
+            s.net.states_mut()[i].follow = Follow::Of(leader);
+        }
+        let map = s.cluster_map();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&leader].len(), 3);
+        let stats = s.clustering_stats();
+        assert_eq!(stats.clusters, 1);
+        assert_eq!(stats.clustered, 3);
+        assert_eq!(stats.unclustered, 5);
+        assert_eq!(stats.max_size, 3);
+    }
+
+    #[test]
+    fn failures_reduce_alive_count() {
+        let mut s = sim(10);
+        s.apply_failures(&FailurePlan::explicit(vec![NodeIdx(4), NodeIdx(5)]));
+        assert_eq!(s.alive_count(), 8);
+    }
+
+    #[test]
+    fn phase_capture_tracks_deltas() {
+        let mut s = sim(4);
+        s.begin_phase();
+        s.end_phase("empty");
+        assert_eq!(s.phases().len(), 1);
+        assert_eq!(s.phases()[0].rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn one_node_network_rejected() {
+        let _ = sim(1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Clustering well-formedness checks (used by tests and debug assertions).
+
+use std::fmt;
+
+use phonecall::{NodeId, NodeIdx};
+
+use crate::sim::ClusterSim;
+
+/// A violation of the clustering invariants of Section 3.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A clustered node follows an ID that does not resolve to any node.
+    DanglingLeader {
+        /// The offending node.
+        node: NodeIdx,
+        /// The unresolvable leader ID.
+        leader: NodeId,
+    },
+    /// A clustered node follows a node that is not a leader (a stale
+    /// pointer left by a merge, normally healed by `flatten_round`).
+    FollowsNonLeader {
+        /// The offending node.
+        node: NodeIdx,
+        /// The followed node's ID.
+        leader: NodeId,
+    },
+    /// A clustered node follows a failed node.
+    FollowsDeadLeader {
+        /// The offending node.
+        node: NodeIdx,
+        /// The dead leader's ID.
+        leader: NodeId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DanglingLeader { node, leader } => {
+                write!(f, "node {node} follows unresolvable ID {leader}")
+            }
+            Violation::FollowsNonLeader { node, leader } => {
+                write!(f, "node {node} follows {leader}, which is not a leader")
+            }
+            Violation::FollowsDeadLeader { node, leader } => {
+                write!(f, "node {node} follows failed node {leader}")
+            }
+        }
+    }
+}
+
+/// Checks that every alive clustered node points at an alive leader (a
+/// node whose own `follow` is itself). Returns all violations.
+///
+/// # Errors
+///
+/// Returns the list of violations when the clustering is not well-formed.
+pub fn check_clustering(sim: &ClusterSim) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    for (i, s) in sim.net.states().iter().enumerate() {
+        let idx = NodeIdx(i as u32);
+        if !sim.net.is_alive(idx) {
+            continue;
+        }
+        let Some(leader) = s.leader() else { continue };
+        match sim.net.resolve(leader) {
+            None => violations.push(Violation::DanglingLeader { node: idx, leader }),
+            Some(lidx) => {
+                if !sim.net.is_alive(lidx) {
+                    violations.push(Violation::FollowsDeadLeader { node: idx, leader });
+                } else if !sim.net.states()[lidx.as_usize()].is_leader() {
+                    violations.push(Violation::FollowsNonLeader { node: idx, leader });
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Checks a `Θ(Δ)`-clustering: everything alive clustered, all cluster
+/// sizes within `[lo, hi]`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first failed property.
+pub fn check_delta_clustering(sim: &ClusterSim, lo: usize, hi: usize) -> Result<(), String> {
+    check_clustering(sim).map_err(|v| format!("{} clustering violations, first: {}", v.len(), v[0]))?;
+    let stats = sim.clustering_stats();
+    if stats.unclustered > 0 {
+        return Err(format!("{} nodes left unclustered", stats.unclustered));
+    }
+    if stats.min_size < lo {
+        return Err(format!("smallest cluster {} below lower bound {lo}", stats.min_size));
+    }
+    if stats.max_size > hi {
+        return Err(format!("largest cluster {} above upper bound {hi}", stats.max_size));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CommonConfig;
+    use crate::follow::Follow;
+    use phonecall::FailurePlan;
+
+    #[test]
+    fn empty_clustering_is_well_formed() {
+        let sim = ClusterSim::new(8, &CommonConfig::default());
+        assert!(check_clustering(&sim).is_ok());
+    }
+
+    #[test]
+    fn detects_follows_non_leader() {
+        let mut sim = ClusterSim::new(8, &CommonConfig::default());
+        let a = sim.net.id_of(NodeIdx(0));
+        sim.net.states_mut()[1].follow = Follow::Of(a); // 0 is not a leader
+        let err = check_clustering(&sim).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(matches!(err[0], Violation::FollowsNonLeader { .. }));
+        assert!(!format!("{}", err[0]).is_empty());
+    }
+
+    #[test]
+    fn detects_dead_leader() {
+        let mut sim = ClusterSim::new(8, &CommonConfig::default());
+        let a = sim.net.id_of(NodeIdx(2));
+        sim.net.states_mut()[2].follow = Follow::Of(a);
+        sim.net.states_mut()[1].follow = Follow::Of(a);
+        sim.apply_failures(&FailurePlan::explicit(vec![NodeIdx(2)]));
+        let err = check_clustering(&sim).unwrap_err();
+        assert!(matches!(err[0], Violation::FollowsDeadLeader { .. }));
+    }
+
+    #[test]
+    fn delta_check_catches_unclustered() {
+        let mut sim = ClusterSim::new(4, &CommonConfig::default());
+        let a = sim.net.id_of(NodeIdx(0));
+        sim.net.states_mut()[0].follow = Follow::Of(a);
+        let err = check_delta_clustering(&sim, 1, 10).unwrap_err();
+        assert!(err.contains("unclustered"));
+    }
+
+    #[test]
+    fn delta_check_bounds_sizes() {
+        let mut sim = ClusterSim::new(4, &CommonConfig::default());
+        let a = sim.net.id_of(NodeIdx(0));
+        for i in 0..4 {
+            sim.net.states_mut()[i].follow = Follow::Of(a);
+        }
+        assert!(check_delta_clustering(&sim, 2, 8).is_ok());
+        assert!(check_delta_clustering(&sim, 5, 8).unwrap_err().contains("below"));
+        assert!(check_delta_clustering(&sim, 1, 3).unwrap_err().contains("above"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Scaling-law fits: how well does a measured series match `c·f(n)`?
+//!
+//! The paper's claims are asymptotic shapes (`Θ(log log n)` rounds,
+//! `Θ(√log n)`, `Θ(log n)`, `Θ(1)`). For a measured series
+//! `(n_i, y_i)` and a candidate law `f`, we fit the single constant
+//! `c = Σ y·f / Σ f²` (least squares through the origin) and report the
+//! coefficient of determination `R²`. Comparing `R²` across candidate
+//! laws is how the experiment tables decide "who scales like what".
+
+use serde::Serialize;
+
+/// A candidate scaling law `f(n)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ScalingLaw {
+    /// `f(n) = 1` — constant.
+    Constant,
+    /// `f(n) = log₂ log₂ n`.
+    LogLog,
+    /// `f(n) = √(log₂ n)`.
+    SqrtLog,
+    /// `f(n) = log₂ n`.
+    Log,
+    /// `f(n) = log₂² n`.
+    LogSquared,
+    /// `f(n) = n`.
+    Linear,
+}
+
+impl ScalingLaw {
+    /// Evaluates the law at `n`.
+    #[must_use]
+    pub fn eval(self, n: f64) -> f64 {
+        let l = n.max(2.0).log2().max(1.0);
+        match self {
+            ScalingLaw::Constant => 1.0,
+            ScalingLaw::LogLog => l.log2().max(1.0),
+            ScalingLaw::SqrtLog => l.sqrt(),
+            ScalingLaw::Log => l,
+            ScalingLaw::LogSquared => l * l,
+            ScalingLaw::Linear => n,
+        }
+    }
+
+    /// All candidate laws, for model selection.
+    #[must_use]
+    pub fn all() -> [ScalingLaw; 6] {
+        [
+            ScalingLaw::Constant,
+            ScalingLaw::LogLog,
+            ScalingLaw::SqrtLog,
+            ScalingLaw::Log,
+            ScalingLaw::LogSquared,
+            ScalingLaw::Linear,
+        ]
+    }
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalingLaw::Constant => "1",
+            ScalingLaw::LogLog => "loglog n",
+            ScalingLaw::SqrtLog => "sqrt(log n)",
+            ScalingLaw::Log => "log n",
+            ScalingLaw::LogSquared => "log^2 n",
+            ScalingLaw::Linear => "n",
+        }
+    }
+}
+
+/// A fitted law: `y ≈ c·f(n)` with goodness `r2`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct ScalingFit {
+    /// The law fitted.
+    pub law: ScalingLaw,
+    /// Fitted constant `c`.
+    pub c: f64,
+    /// Coefficient of determination (1 = perfect).
+    pub r2: f64,
+}
+
+/// Fits `y ≈ c·f(n)` by least squares through the origin.
+///
+/// # Panics
+///
+/// Panics if the series is empty or lengths differ.
+#[must_use]
+pub fn fit_ratio(ns: &[f64], ys: &[f64], law: ScalingLaw) -> ScalingFit {
+    assert_eq!(ns.len(), ys.len(), "series lengths must match");
+    assert!(!ns.is_empty(), "cannot fit an empty series");
+    let fs: Vec<f64> = ns.iter().map(|&n| law.eval(n)).collect();
+    let num: f64 = fs.iter().zip(ys).map(|(f, y)| f * y).sum();
+    let den: f64 = fs.iter().map(|f| f * f).sum();
+    let c = if den > 0.0 { num / den } else { 0.0 };
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = fs.iter().zip(ys).map(|(f, y)| (y - c * f).powi(2)).sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { f64::from(u8::from(ss_res == 0.0)) };
+    ScalingFit { law, c, r2 }
+}
+
+/// Fits every candidate law and returns them sorted by descending `R²`.
+#[must_use]
+pub fn best_fits(ns: &[f64], ys: &[f64]) -> Vec<ScalingFit> {
+    let mut fits: Vec<ScalingFit> =
+        ScalingLaw::all().into_iter().map(|law| fit_ratio(ns, ys, law)).collect();
+    fits.sort_by(|a, b| b.r2.partial_cmp(&a.r2).expect("finite r2"));
+    fits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns() -> Vec<f64> {
+        (8..=20).map(|e| (1u64 << e) as f64).collect()
+    }
+
+    #[test]
+    fn log_series_is_recognized() {
+        let xs = ns();
+        let ys: Vec<f64> = xs.iter().map(|&n| 3.0 * n.log2() + 0.5).collect();
+        let best = best_fits(&xs, &ys);
+        assert_eq!(best[0].law, ScalingLaw::Log, "fits: {best:?}");
+        assert!((best[0].c - 3.0).abs() < 0.2);
+        assert!(best[0].r2 > 0.99);
+    }
+
+    #[test]
+    fn loglog_series_is_recognized() {
+        let xs = ns();
+        let ys: Vec<f64> = xs.iter().map(|&n| 5.0 * n.log2().log2()).collect();
+        let best = best_fits(&xs, &ys);
+        assert_eq!(best[0].law, ScalingLaw::LogLog);
+        assert!(best[0].r2 > 0.999);
+    }
+
+    #[test]
+    fn sqrt_log_beats_log_for_sqrt_series() {
+        let xs = ns();
+        let ys: Vec<f64> = xs.iter().map(|&n| 2.0 * n.log2().sqrt()).collect();
+        let sqrt_fit = fit_ratio(&xs, &ys, ScalingLaw::SqrtLog);
+        let log_fit = fit_ratio(&xs, &ys, ScalingLaw::Log);
+        assert!(sqrt_fit.r2 > log_fit.r2);
+    }
+
+    #[test]
+    fn constant_series() {
+        let xs = ns();
+        let ys = vec![4.0; xs.len()];
+        let f = fit_ratio(&xs, &ys, ScalingLaw::Constant);
+        assert!((f.c - 4.0).abs() < 1e-12);
+        assert!(f.r2 >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn law_names_are_distinct() {
+        let names: std::collections::BTreeSet<_> =
+            ScalingLaw::all().iter().map(|l| l.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness for the reproduction: summary statistics over
+//! seeded trials, parameter sweeps, scaling-law fits, and table rendering
+//! (markdown / CSV) for the `exp_*` binaries that regenerate every
+//! experiment of EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod plot;
+pub mod runner;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use fit::{fit_ratio, ScalingFit, ScalingLaw};
+pub use plot::AsciiPlot;
+pub use runner::run_trials;
+pub use stats::Summary;
+pub use sweep::{geometric_ns, trial_seeds};
+pub use table::Table;

@@ -1,0 +1,140 @@
+//! Minimal ASCII line charts for the experiment binaries' "figures".
+//!
+//! The paper has no figures of its own, but the scaling claims are
+//! naturally figure-shaped (rounds vs `n`, one curve per algorithm).
+//! [`AsciiPlot`] renders multiple named series on a shared log₂-x axis in
+//! plain text, so the `exp_*` binaries can show the curves directly in a
+//! terminal or a markdown code block.
+
+use std::fmt::Write as _;
+
+/// A named data series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points (x is typically `n`).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series ASCII chart with a log₂ x-axis.
+#[derive(Clone, Debug)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['o', '*', '+', 'x', '#', '@', '%', '&'];
+
+impl AsciiPlot {
+    /// Creates an empty chart.
+    #[must_use]
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        AsciiPlot { title: title.into(), width: width.max(16), height: height.max(4), series: Vec::new() }
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series { name: name.into(), points });
+    }
+
+    /// Renders the chart. Empty charts render a placeholder line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let pts: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        if pts.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let x_lo = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min).max(1.0).log2();
+        let x_hi = pts.iter().map(|p| p.0).fold(0.0_f64, f64::max).max(2.0).log2();
+        let y_hi = pts.iter().map(|p| p.1).fold(0.0_f64, f64::max).max(1e-9);
+        let y_lo = 0.0;
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                let xf = if x_hi > x_lo { (x.max(1.0).log2() - x_lo) / (x_hi - x_lo) } else { 0.5 };
+                let yf = (y - y_lo) / (y_hi - y_lo);
+                let col = ((self.width - 1) as f64 * xf).round() as usize;
+                let row = ((self.height - 1) as f64 * (1.0 - yf.clamp(0.0, 1.0))).round() as usize;
+                grid[row.min(self.height - 1)][col.min(self.width - 1)] = glyph;
+            }
+        }
+        for (ri, row) in grid.iter().enumerate() {
+            let label = if ri == 0 {
+                format!("{y_hi:>8.1}")
+            } else if ri == self.height - 1 {
+                format!("{y_lo:>8.1}")
+            } else {
+                "        ".to_string()
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>8} +{}", "", "-".repeat(self.width));
+        let _ = writeln!(
+            out,
+            "{:>8}  n = 2^{:.0} .. 2^{:.0} (log scale)",
+            "", x_lo, x_hi
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{:>10} {} = {}", "", GLYPHS[si % GLYPHS.len()], s.name);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plot() -> AsciiPlot {
+        let mut p = AsciiPlot::new("demo", 40, 10);
+        p.add_series("log", (8..=16).map(|e| ((1u64 << e) as f64, e as f64)).collect());
+        p.add_series("const", (8..=16).map(|e| ((1u64 << e) as f64, 3.0)).collect());
+        p
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let out = sample_plot().render();
+        assert!(out.contains("demo"));
+        assert!(out.contains("o = log"));
+        assert!(out.contains("* = const"));
+        assert!(out.contains("log scale"));
+        assert!(out.lines().count() >= 12);
+    }
+
+    /// Grid rows are the lines containing the axis separator.
+    fn grid_rows_with(out: &str, glyph: char) -> usize {
+        out.lines().filter(|l| l.contains(" |") && l.split(" |").nth(1).is_some_and(|g| g.contains(glyph))).count()
+    }
+
+    #[test]
+    fn growing_series_occupies_multiple_rows() {
+        let out = sample_plot().render();
+        let rows = grid_rows_with(&out, 'o');
+        assert!(rows >= 4, "a log curve spans several rows: {rows}");
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let p = AsciiPlot::new("empty", 30, 6);
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn flat_series_sits_on_one_row() {
+        let mut p = AsciiPlot::new("flat", 40, 10);
+        p.add_series("c", (8..=16).map(|e| ((1u64 << e) as f64, 5.0)).collect());
+        let out = p.render();
+        assert_eq!(grid_rows_with(&out, 'o'), 1, "constant series is one row");
+    }
+}

@@ -1,0 +1,36 @@
+//! Multi-trial runner: maps a seeded run function over trial seeds and
+//! summarizes a metric.
+
+use crate::stats::Summary;
+use crate::sweep::trial_seeds;
+
+/// Runs `trials` seeded executions of `f` and summarizes the metric it
+/// returns.
+///
+/// `f` receives the trial seed; experiments thread it into their config.
+/// Trials run sequentially — runs are already deterministic per seed, and
+/// the experiment binaries parallelize across *processes* when needed.
+#[must_use]
+pub fn run_trials(master_seed: u64, label: &str, trials: u32, mut f: impl FnMut(u64) -> f64) -> Summary {
+    let samples: Vec<f64> = trial_seeds(master_seed, label, trials).into_iter().map(&mut f).collect();
+    Summary::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_metric_over_trials() {
+        let s = run_trials(1, "test", 8, |seed| (seed % 7) as f64);
+        assert_eq!(s.count, 8);
+        assert!(s.min >= 0.0 && s.max <= 6.0);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let a = run_trials(2, "d", 5, |seed| seed as f64);
+        let b = run_trials(2, "d", 5, |seed| seed as f64);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,101 @@
+//! Summary statistics over trial samples.
+
+use serde::Serialize;
+
+/// Five-number-style summary of a sample set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased; 0 for < 2 samples).
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (average of the middle two for even counts).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Half-width of the 95% normal-approximation confidence interval for
+    /// the mean.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample set. Returns the default (all zeros) for an
+    /// empty input.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let sd = var.sqrt();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            mean,
+            sd,
+            min: sorted[0],
+            median,
+            max: sorted[count - 1],
+            ci95: 1.96 * sd / (count as f64).sqrt(),
+        }
+    }
+
+    /// `mean ± ci95` formatted compactly.
+    #[must_use]
+    pub fn display_mean_ci(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean, self.ci95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+        assert!((s.max - 5.0).abs() < 1e-12);
+        assert!((s.sd - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_count_median_interpolates() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 10.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(Summary::from_samples(&[]), Summary::default());
+        let s = Summary::from_samples(&[7.0]);
+        assert!((s.mean - 7.0).abs() < 1e-12);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn display_contains_mean() {
+        let s = Summary::from_samples(&[2.0, 2.0]);
+        assert!(s.display_mean_ci().starts_with("2.00"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Parameter grids and per-trial seed derivation.
+
+use phonecall::derive_seed;
+
+/// Geometric grid of network sizes: `2^lo, 2^(lo+step), …, 2^hi`.
+///
+/// ```
+/// assert_eq!(gossip_harness::geometric_ns(8, 12, 2), vec![256, 1024, 4096]);
+/// ```
+#[must_use]
+pub fn geometric_ns(lo_exp: u32, hi_exp: u32, step: u32) -> Vec<usize> {
+    assert!(step >= 1, "step must be positive");
+    (lo_exp..=hi_exp).step_by(step as usize).map(|e| 1usize << e).collect()
+}
+
+/// Derives `count` independent trial seeds from a master seed and an
+/// experiment label (so different experiments never share streams).
+#[must_use]
+pub fn trial_seeds(master: u64, label: &str, count: u32) -> Vec<u64> {
+    let label_hash = label.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+    (0..count).map(|k| derive_seed(master ^ label_hash, u64::from(k))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_geometric() {
+        assert_eq!(geometric_ns(8, 10, 1), vec![256, 512, 1024]);
+        assert_eq!(geometric_ns(10, 10, 1), vec![1024]);
+    }
+
+    #[test]
+    fn seeds_differ_across_labels_and_indices() {
+        let a = trial_seeds(1, "e1", 10);
+        let b = trial_seeds(1, "e2", 10);
+        assert_eq!(a.len(), 10);
+        assert_ne!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        assert_eq!(trial_seeds(5, "x", 4), trial_seeds(5, "x", 4));
+    }
+}

@@ -1,0 +1,150 @@
+//! Undirected graphs as adjacency lists, and the random sample-union
+//! graph `K' = ∪_{t≤T} G_t` of the lower-bound argument.
+
+use phonecall::{derive_seed, rng_from_seed};
+use rand::Rng;
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// An empty graph on `n` vertices.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edges: 0 }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of (undirected, deduplicated) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Adds the undirected edge `{u, v}` (self-loops and duplicates are
+    /// ignored; duplicates are removed lazily by [`Graph::finish`]).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+    }
+
+    /// Sorts and deduplicates all adjacency lists (call once after bulk
+    /// insertion).
+    pub fn finish(&mut self) {
+        self.edges = 0;
+        for l in &mut self.adj {
+            l.sort_unstable();
+            l.dedup();
+            self.edges += l.len();
+        }
+        self.edges /= 2;
+    }
+
+    /// Maximum vertex degree.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Draws the union graph `K' = ∪_{t=1..t_rounds} G_t`: every node samples
+/// one uniformly random other node per round; each sample contributes an
+/// undirected edge.
+///
+/// This is exactly the graph of Theorem 15's proof — a random graph where
+/// every node has drawn `t_rounds` independent uniform contacts (expected
+/// average degree `≈ 2·t_rounds`).
+///
+/// ```
+/// let g = gossip_lowerbound::graph::sample_union_graph(100, 3, 7);
+/// assert_eq!(g.len(), 100);
+/// assert!(g.edge_count() <= 300);
+/// ```
+#[must_use]
+pub fn sample_union_graph(n: usize, t_rounds: u32, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = rng_from_seed(derive_seed(seed, 0x10ba));
+    let mut g = Graph::empty(n);
+    for _t in 0..t_rounds {
+        for v in 0..n as u32 {
+            let u = loop {
+                let c = rng.gen_range(0..n as u32);
+                if c != v {
+                    break c;
+                }
+            };
+            g.add_edge(v, u);
+        }
+    }
+    g.finish();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_graph_has_expected_density() {
+        let g = sample_union_graph(1000, 4, 1);
+        // 4000 samples, minus collisions: between 3.5k and 4k edges.
+        assert!(g.edge_count() > 3500 && g.edge_count() <= 4000, "{}", g.edge_count());
+        let avg_deg = 2.0 * g.edge_count() as f64 / 1000.0;
+        assert!((6.0..=8.5).contains(&avg_deg), "avg degree {avg_deg}");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = sample_union_graph(64, 5, 2);
+        for v in 0..64u32 {
+            let nb = g.neighbors(v);
+            assert!(!nb.contains(&v), "self loop at {v}");
+            let mut d = nb.to_vec();
+            d.dedup();
+            assert_eq!(d.len(), nb.len(), "duplicate edge at {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sample_union_graph(128, 3, 9);
+        let b = sample_union_graph(128, 3, 9);
+        for v in 0..128u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn zero_rounds_gives_empty_graph() {
+        let g = sample_union_graph(16, 0, 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-round node actions and deliveries.
+
+use crate::id::NodeId;
+
+/// Where an initiated communication is directed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// A uniformly random node (excluding the initiator). This is the only
+    /// target available before any addresses are learned.
+    Random,
+    /// A specific node whose ID was learned earlier — *direct addressing*.
+    Direct(NodeId),
+}
+
+/// What a node does with its (at most one) initiated communication this
+/// round.
+#[derive(Clone, Debug)]
+pub enum Action<M> {
+    /// Initiate nothing.
+    Idle,
+    /// PUSH `msg` to `to`.
+    Push {
+        /// Communication target.
+        to: Target,
+        /// Payload to deliver.
+        msg: M,
+    },
+    /// PULL from `to`: request the target's (address-oblivious) response.
+    Pull {
+        /// Communication target.
+        to: Target,
+    },
+}
+
+impl<M> Action<M> {
+    /// Whether this action initiates a communication.
+    #[must_use]
+    pub fn is_communication(&self) -> bool {
+        !matches!(self, Action::Idle)
+    }
+}
+
+/// Something delivered to a node at the end of a round.
+#[derive(Clone, Debug)]
+pub enum Delivery<M> {
+    /// A message PUSHed by `from`.
+    Push {
+        /// Sender's wire ID (messages carry their sender address in the
+        /// header, so recipients always learn it — this is what makes
+        /// PUSH-based address learning possible).
+        from: NodeId,
+        /// The payload.
+        msg: M,
+    },
+    /// The response to a PULL this node initiated.
+    PullReply {
+        /// Responder's wire ID.
+        from: NodeId,
+        /// The payload.
+        msg: M,
+    },
+    /// Notification that `from` pulled from this node this round (delivered
+    /// after responses are fixed, so it cannot influence them — responses
+    /// stay address-oblivious).
+    PulledBy(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_is_not_a_communication() {
+        assert!(!Action::<()>::Idle.is_communication());
+        assert!(Action::Push { to: Target::Random, msg: () }.is_communication());
+        assert!(Action::<()>::Pull { to: Target::Random }.is_communication());
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the simulator's fallible entry points.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by simulator construction and configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PhoneCallError {
+    /// The requested network size is invalid (zero, or too large for the
+    /// engine's 32-bit dense index space).
+    InvalidSize {
+        /// The rejected size.
+        n: usize,
+    },
+    /// A failure plan referenced a node outside `0..n`.
+    FailureOutOfRange {
+        /// The out-of-range index.
+        idx: u32,
+        /// The network size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for PhoneCallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhoneCallError::InvalidSize { n } => {
+                write!(f, "invalid network size {n}: must be in 1..=u32::MAX")
+            }
+            PhoneCallError::FailureOutOfRange { idx, n } => {
+                write!(f, "failure plan names node {idx} but the network has {n} nodes")
+            }
+        }
+    }
+}
+
+impl Error for PhoneCallError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PhoneCallError::InvalidSize { n: 0 };
+        assert!(format!("{e}").contains("invalid network size"));
+        let e = PhoneCallError::FailureOutOfRange { idx: 9, n: 4 };
+        assert!(format!("{e}").contains("9"));
+        assert!(format!("{e}").contains("4"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Oblivious node failures (Section 8 of the paper).
+//!
+//! The adversary chooses a set of `F` nodes *before* seeing any of the
+//! algorithm's randomness and fails them at time 0. Because every algorithm
+//! in the paper is symmetric in the node labels, an oblivious adversary is
+//! equivalent to a uniformly random failure set — which is exactly how
+//! [`FailurePlan::random`] samples.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeIdx;
+use crate::rng::rng_from_seed;
+
+/// A set of nodes to fail at time 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailurePlan {
+    failed: Vec<NodeIdx>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    #[must_use]
+    pub fn none() -> Self {
+        FailurePlan { failed: Vec::new() }
+    }
+
+    /// Fails exactly the given nodes (duplicates are removed).
+    #[must_use]
+    pub fn explicit(mut nodes: Vec<NodeIdx>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        FailurePlan { failed: nodes }
+    }
+
+    /// Fails `f` nodes chosen uniformly at random (the oblivious adversary
+    /// under node symmetry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f > n`.
+    #[must_use]
+    pub fn random(n: usize, f: usize, seed: u64) -> Self {
+        assert!(f <= n, "cannot fail more nodes than exist");
+        let mut rng = rng_from_seed(seed);
+        let mut all: Vec<NodeIdx> = (0..n as u32).map(NodeIdx).collect();
+        all.shuffle(&mut rng);
+        all.truncate(f);
+        Self::explicit(all)
+    }
+
+    /// Fails each node independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    #[must_use]
+    pub fn bernoulli(n: usize, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        let mut rng = rng_from_seed(seed);
+        let failed = (0..n as u32)
+            .map(NodeIdx)
+            .filter(|_| rng.gen_bool(p))
+            .collect();
+        Self::explicit(failed)
+    }
+
+    /// The failed node indices, sorted.
+    #[must_use]
+    pub fn failed(&self) -> &[NodeIdx] {
+        &self.failed
+    }
+
+    /// Number of failed nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Whether no nodes fail.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plan_has_exact_size_and_is_deterministic() {
+        let a = FailurePlan::random(100, 17, 5);
+        let b = FailurePlan::random(100, 17, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 17);
+        assert!(a.failed().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn explicit_dedups() {
+        let p = FailurePlan::explicit(vec![NodeIdx(3), NodeIdx(1), NodeIdx(3)]);
+        assert_eq!(p.failed(), &[NodeIdx(1), NodeIdx(3)]);
+    }
+
+    #[test]
+    fn bernoulli_is_roughly_calibrated() {
+        let p = FailurePlan::bernoulli(10_000, 0.3, 11);
+        let f = p.len() as f64 / 10_000.0;
+        assert!((f - 0.3).abs() < 0.03, "got fraction {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail more nodes")]
+    fn overfull_plan_panics() {
+        let _ = FailurePlan::random(4, 5, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Node identity: opaque wire-level IDs from a polynomially large space and
+//! dense engine-internal indices.
+//!
+//! The paper assumes each node has a unique `O(log n)`-bit address (think IP
+//! address) and that nodes *cannot* enumerate the address space — knowing
+//! `n` does not let a node guess other nodes' addresses. We model this with
+//! a pseudo-random injection from dense indices `0..n` into a `u64` space;
+//! algorithm code only ever sees [`NodeId`]s, while the engine resolves them
+//! back to [`NodeIdx`]s through a hash map, like a network delivering to an
+//! IP address.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A node's wire-visible unique address from the polynomial ID space.
+///
+/// `NodeId`s are what algorithms learn, store in `follow` variables, compare
+/// (cluster IDs are ordered by leader ID in the paper) and put in messages.
+/// They are deliberately *not* convertible back to a dense index without the
+/// engine's directory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Raw 64-bit value of the address (for hashing / serialization).
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an ID from its raw value.
+    ///
+    /// Intended for deserialization and tests; algorithms should only use
+    /// IDs handed to them by the engine.
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+/// A dense engine-internal node index in `0..n`.
+///
+/// Indices exist so that simulator state lives in flat vectors; they are
+/// *not* visible to algorithms on the wire (that would break the polynomial
+/// ID space assumption and with it the lower bound of Theorem 3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// The index as a `usize`, for vector addressing.
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<NodeIdx> for usize {
+    fn from(idx: NodeIdx) -> usize {
+        idx.as_usize()
+    }
+}
+
+/// The directory mapping between dense indices and wire IDs.
+///
+/// Construction assigns every index a pseudo-random 64-bit address derived
+/// from the run seed with a SplitMix64-style mix, giving a deterministic,
+/// collision-free (retried on collision), unordered-looking ID space.
+#[derive(Clone, Debug)]
+pub struct IdSpace {
+    ids: Vec<NodeId>,
+    directory: HashMap<NodeId, NodeIdx>,
+}
+
+impl IdSpace {
+    /// Builds an ID space for `n` nodes from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or does not fit in a `u32`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "network must contain at least one node");
+        assert!(u32::try_from(n).is_ok(), "n must fit in u32");
+        let mut ids = Vec::with_capacity(n);
+        let mut directory = HashMap::with_capacity(n * 2);
+        let mut counter = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for i in 0..n {
+            // Draw mixed values until we find a fresh one (collisions in a
+            // 64-bit space are vanishingly rare but must not corrupt the
+            // directory).
+            let id = loop {
+                counter = counter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let candidate = NodeId(splitmix64(counter));
+                if !directory.contains_key(&candidate) {
+                    break candidate;
+                }
+            };
+            let idx = NodeIdx(i as u32);
+            directory.insert(id, idx);
+            ids.push(id);
+        }
+        IdSpace { ids, directory }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the space is empty (never true for a constructed space).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The wire ID of a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn id_of(&self, idx: NodeIdx) -> NodeId {
+        self.ids[idx.as_usize()]
+    }
+
+    /// Resolves a wire ID back to its dense index, if the ID exists.
+    #[must_use]
+    pub fn resolve(&self, id: NodeId) -> Option<NodeIdx> {
+        self.directory.get(&id).copied()
+    }
+
+    /// All IDs in dense-index order.
+    #[must_use]
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_resolvable() {
+        let space = IdSpace::new(1000, 7);
+        assert_eq!(space.len(), 1000);
+        for i in 0..1000u32 {
+            let idx = NodeIdx(i);
+            let id = space.id_of(idx);
+            assert_eq!(space.resolve(id), Some(idx));
+        }
+        let mut sorted: Vec<_> = space.ids().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000, "IDs must be collision free");
+    }
+
+    #[test]
+    fn id_space_is_deterministic_per_seed() {
+        let a = IdSpace::new(64, 123);
+        let b = IdSpace::new(64, 123);
+        let c = IdSpace::new(64, 124);
+        assert_eq!(a.ids(), b.ids());
+        assert_ne!(a.ids(), c.ids());
+    }
+
+    #[test]
+    fn unknown_id_does_not_resolve() {
+        let space = IdSpace::new(8, 1);
+        let bogus = NodeId::from_raw(0xdead_beef_dead_beef);
+        // The bogus ID is almost surely absent; skip if astronomically unlucky.
+        if !space.ids().contains(&bogus) {
+            assert_eq!(space.resolve(bogus), None);
+        }
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let id = NodeId::from_raw(42);
+        assert!(!format!("{id}").is_empty());
+        assert!(!format!("{id:?}").is_empty());
+        assert!(!format!("{}", NodeIdx(3)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = IdSpace::new(0, 0);
+    }
+}

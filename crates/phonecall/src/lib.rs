@@ -1,0 +1,104 @@
+//! A deterministic simulator of the **random phone call model with direct
+//! addressing**, the communication model of *Optimal Gossip with Direct
+//! Addressing* (Haeupler & Malkhi, PODC 2014).
+//!
+//! # Model
+//!
+//! The network is complete and consists of `n` nodes. Each node has a unique
+//! ID drawn from a polynomially large ID space (so IDs cost `Θ(log n)` bits
+//! on the wire and cannot be enumerated). Communication proceeds in
+//! synchronous rounds. In each round every *alive* node may initiate at most
+//! one communication:
+//!
+//! * **PUSH** a message to a target, or
+//! * **PULL** a message from a target,
+//!
+//! where the target is either a **uniformly random** node or — this is the
+//! *direct addressing* assumption — any node whose ID the initiator has
+//! learned earlier.
+//!
+//! Responses to PULLs are **address-oblivious**: the engine computes a
+//! node's pull response from that node's state alone, without exposing the
+//! requester, so a node necessarily answers every PULL of a round with the
+//! same message. (Algorithms may still observe *that* they were pulled, and
+//! by whom, when updating state for the *next* round; this matches the
+//! paper's definition, which constrains only what is sent within a round.)
+//!
+//! # What the engine accounts for
+//!
+//! * **round complexity** — number of executed rounds;
+//! * **message complexity** — PUSH = one message; PULL = one request plus
+//!   one response (when answered); the engine also tracks *payload-bearing*
+//!   messages separately so that comparisons that only count rumor
+//!   transmissions (as Karp et al. do) are possible;
+//! * **bit complexity** — every message carries a `⌈2·log₂ n⌉`-bit header
+//!   (sender/receiver IDs from the polynomial ID space) plus the payload's
+//!   [`Wire::size_bits`];
+//! * **fan-in `Δ`** — the maximum number of communications any node
+//!   participates in during any single round (initiated + received pushes +
+//!   answered pulls), the quantity bounded in Section 7 of the paper;
+//! * **failures** — an oblivious adversary may fail any set of nodes at
+//!   time 0 (or between rounds); failed nodes never act, never respond, and
+//!   silently swallow messages addressed to them.
+//!
+//! # Determinism
+//!
+//! All randomness flows from a single `u64` seed. Given `(n, seed)` and the
+//! same sequence of [`Network::round`] calls, every run is bit-identical,
+//! which the test-suite relies on.
+//!
+//! # Example
+//!
+//! A one-round push of a tiny payload from node 0 to a random node:
+//!
+//! ```
+//! use phonecall::{Action, Delivery, Network, Target, Wire};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Token;
+//! impl Wire for Token {
+//!     fn size_bits(&self) -> u64 { 1 }
+//! }
+//!
+//! #[derive(Default, Clone)]
+//! struct St { got: bool }
+//!
+//! let mut net: Network<St> = Network::new(8, 42);
+//! net.round(
+//!     |ctx, _rng| if ctx.idx.as_usize() == 0 {
+//!         Action::Push { to: Target::Random, msg: Token }
+//!     } else {
+//!         Action::Idle
+//!     },
+//!     |_state| None,
+//!     |state, delivery| {
+//!         if let Delivery::Push { .. } = delivery { state.got = true; }
+//!     },
+//! );
+//! assert_eq!(net.metrics().messages, 1);
+//! assert_eq!(net.states().iter().filter(|s| s.got).count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod action;
+mod error;
+mod failure;
+mod id;
+mod metrics;
+mod network;
+mod rng;
+mod trace;
+mod wire;
+
+pub use action::{Action, Delivery, Target};
+pub use error::PhoneCallError;
+pub use failure::FailurePlan;
+pub use id::{IdSpace, NodeId, NodeIdx};
+pub use metrics::{Metrics, RoundStats};
+pub use network::{Network, NodeCtx};
+pub use rng::{derive_seed, rng_from_seed};
+pub use trace::{Event, EventKind, Trace};
+pub use wire::{header_bits, Wire};

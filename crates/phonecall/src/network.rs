@@ -1,0 +1,635 @@
+//! The synchronous round engine.
+//!
+//! [`Network::round`] executes one round of the random phone call model with
+//! direct addressing:
+//!
+//! 1. every alive node's `decide` closure picks an [`Action`] from its own
+//!    state (and a per-node random stream);
+//! 2. `Random` targets are resolved to uniformly random *other* nodes;
+//! 3. pull responses are computed **first**, from each responder's state at
+//!    the start of the round, via the address-oblivious `respond` closure;
+//! 4. pushes, pull replies and pulled-by notifications are delivered through
+//!    `deliver`, and all message/bit/fan-in accounting is charged.
+//!
+//! The split into `decide` / `respond` / `deliver` is what enforces the
+//! model structurally: `decide` sees only the deciding node, `respond` sees
+//! only the responder (so responses cannot depend on who is asking — the
+//! paper's address-obliviousness), and all state changes from incoming
+//! traffic happen strictly after every action and response of the round is
+//! fixed (synchrony).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::action::{Action, Delivery, Target};
+use crate::failure::FailurePlan;
+use crate::id::{IdSpace, NodeId, NodeIdx};
+use crate::metrics::{Metrics, RoundStats};
+use crate::rng::{derive_seed, rng_from_seed};
+use crate::trace::{Event, EventKind, Trace};
+use crate::wire::{header_bits, Wire};
+
+/// Read-only view of a node handed to the `decide` closure.
+#[derive(Debug)]
+pub struct NodeCtx<'a, S> {
+    /// The node's dense index.
+    pub idx: NodeIdx,
+    /// The node's wire ID.
+    pub id: NodeId,
+    /// The node's state.
+    pub state: &'a S,
+    /// Current round number (0-based).
+    pub round: u64,
+}
+
+/// A simulated network of `n` nodes running the random phone call model.
+///
+/// Generic over the per-node algorithm state `S`. See the crate docs for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Network<S> {
+    ids: IdSpace,
+    states: Vec<S>,
+    alive: Vec<bool>,
+    round: u64,
+    rng: SmallRng,
+    metrics: Metrics,
+    header_bits: u64,
+    trace: Trace,
+    /// Independent per-message loss probability (transient link failures;
+    /// 0.0 = reliable links, the paper's base model).
+    loss: f64,
+    // Scratch buffers reused across rounds to avoid per-round allocation.
+    fan_in: Vec<u32>,
+}
+
+/// A resolved initiated communication, internal to round execution.
+enum Resolved<M> {
+    Push { src: NodeIdx, dst: NodeIdx, msg: M },
+    Pull { src: NodeIdx, dst: NodeIdx },
+}
+
+impl<S> Network<S> {
+    /// Creates a network of `n` nodes with default state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self
+    where
+        S: Default,
+    {
+        Self::with_states(seed, (0..n).map(|_| S::default()).collect())
+    }
+
+    /// Creates a network whose node `i` starts in `states[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty or longer than `u32::MAX`.
+    #[must_use]
+    pub fn with_states(seed: u64, states: Vec<S>) -> Self {
+        let n = states.len();
+        let ids = IdSpace::new(n, derive_seed(seed, 1));
+        Network {
+            ids,
+            states,
+            alive: vec![true; n],
+            round: 0,
+            rng: rng_from_seed(derive_seed(seed, 2)),
+            metrics: Metrics::default(),
+            header_bits: header_bits(n),
+            trace: Trace::disabled(),
+            loss: 0.0,
+            fan_in: vec![0; n],
+        }
+    }
+
+    /// Creates a network with per-node states built from each node's index
+    /// and wire ID (the common case: algorithm state embeds the own ID).
+    #[must_use]
+    pub fn with_state_fn(n: usize, seed: u64, mut f: impl FnMut(NodeIdx, NodeId) -> S) -> Self {
+        let ids = IdSpace::new(n, derive_seed(seed, 1));
+        let states = (0..n as u32)
+            .map(|i| {
+                let idx = NodeIdx(i);
+                f(idx, ids.id_of(idx))
+            })
+            .collect();
+        Network {
+            ids,
+            states,
+            alive: vec![true; n],
+            round: 0,
+            rng: rng_from_seed(derive_seed(seed, 2)),
+            metrics: Metrics::default(),
+            header_bits: header_bits(n),
+            trace: Trace::disabled(),
+            loss: 0.0,
+            fan_in: vec![0; n],
+        }
+    }
+
+    /// Sets the independent per-message loss probability (transient link
+    /// failures). Lost messages are paid for by the sender (they count in
+    /// the message/bit totals) but never delivered; a lost PULL request
+    /// silently produces no reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn set_message_loss(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.loss = p;
+    }
+
+    /// Number of nodes (alive and failed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the network has no nodes (never true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current round number (number of rounds executed so far).
+    #[must_use]
+    pub fn round_number(&self) -> u64 {
+        self.round
+    }
+
+    /// The accounting gathered so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// All node states, indexed densely.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable access to node states (for algorithm phases that perform
+    /// node-local transitions not involving communication, e.g. flipping an
+    /// activation coin at a leader).
+    #[must_use]
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// The wire ID of node `idx`.
+    #[must_use]
+    pub fn id_of(&self, idx: NodeIdx) -> NodeId {
+        self.ids.id_of(idx)
+    }
+
+    /// Resolves a wire ID to a dense index (engine-side only).
+    #[must_use]
+    pub fn resolve(&self, id: NodeId) -> Option<NodeIdx> {
+        self.ids.resolve(id)
+    }
+
+    /// Whether node `idx` is alive.
+    #[must_use]
+    pub fn is_alive(&self, idx: NodeIdx) -> bool {
+        self.alive[idx.as_usize()]
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Applies a failure plan: the named nodes die immediately and forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references nodes outside this network.
+    pub fn apply_failures(&mut self, plan: &FailurePlan) {
+        for idx in plan.failed() {
+            assert!(
+                idx.as_usize() < self.len(),
+                "failure plan references node {idx} outside 0..{}",
+                self.len()
+            );
+            self.alive[idx.as_usize()] = false;
+        }
+    }
+
+    /// Enables event tracing with the given capacity.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Trace::with_capacity(cap);
+    }
+
+    /// The recorded trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Samples a uniformly random node other than `src` (alive or dead —
+    /// the caller cannot know liveness, matching the model).
+    fn sample_other(rng: &mut SmallRng, n: usize, src: NodeIdx) -> NodeIdx {
+        debug_assert!(n > 1, "sampling requires at least two nodes");
+        loop {
+            let cand = NodeIdx(rng.gen_range(0..n as u32));
+            if cand != src {
+                return cand;
+            }
+        }
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// * `decide` — called once per alive node with a read-only view of its
+    ///   state and a per-node random stream; returns the node's action.
+    /// * `respond` — called once per alive node that is the target of at
+    ///   least one PULL; computes the address-oblivious response from the
+    ///   node's state at the start of the round. `None` means the node does
+    ///   not answer (no response message is charged).
+    /// * `deliver` — called for every delivery: pushes, pull replies, and
+    ///   pulled-by notifications, in that order. Mutates recipient state.
+    ///
+    /// Returns this round's [`RoundStats`] (also appended to
+    /// [`Metrics::per_round`]).
+    pub fn round<M: Wire + Clone>(
+        &mut self,
+        mut decide: impl FnMut(NodeCtx<'_, S>, &mut SmallRng) -> Action<M>,
+        mut respond: impl FnMut(&S) -> Option<M>,
+        mut deliver: impl FnMut(&mut S, Delivery<M>),
+    ) -> RoundStats {
+        let n = self.len();
+        let mut stats = RoundStats { round: self.round, ..Default::default() };
+        self.fan_in.iter_mut().for_each(|c| *c = 0);
+
+        // Phase 1: collect and resolve actions.
+        let mut resolved: Vec<Resolved<M>> = Vec::new();
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            let idx = NodeIdx(i as u32);
+            let ctx = NodeCtx { idx, id: self.ids.id_of(idx), state: &self.states[i], round: self.round };
+            let action = decide(ctx, &mut self.rng);
+            let target = match &action {
+                Action::Idle => continue,
+                Action::Push { to, .. } => *to,
+                Action::Pull { to } => *to,
+            };
+            stats.initiators += 1;
+            self.fan_in[i] += 1;
+            let dst = match target {
+                Target::Random => {
+                    if n == 1 {
+                        continue; // nobody to talk to
+                    }
+                    Self::sample_other(&mut self.rng, n, idx)
+                }
+                Target::Direct(id) => match self.ids.resolve(id) {
+                    Some(d) => d,
+                    // Unknown address: the message is lost in the void but
+                    // the attempt still counts as an initiated communication.
+                    None => continue,
+                },
+            };
+            match action {
+                Action::Push { msg, .. } => resolved.push(Resolved::Push { src: idx, dst, msg }),
+                Action::Pull { .. } => resolved.push(Resolved::Pull { src: idx, dst }),
+                Action::Idle => unreachable!(),
+            }
+        }
+
+        // Phase 2: compute pull responses from start-of-round state
+        // (address-oblivious; one response per responder per round). A
+        // lost request or lost reply surfaces identically to the puller:
+        // no response arrives.
+        let mut responses: Vec<Option<(NodeIdx, Option<M>)>> = Vec::new();
+        for r in &resolved {
+            if let Resolved::Pull { dst, .. } = r {
+                let d = dst.as_usize();
+                let lost = self.loss > 0.0
+                    && (self.rng.gen_bool(self.loss) || self.rng.gen_bool(self.loss));
+                let resp =
+                    if self.alive[d] && !lost { respond(&self.states[d]) } else { None };
+                responses.push(Some((*dst, resp)));
+            } else {
+                responses.push(None);
+            }
+        }
+
+        // Phase 3: deliver pushes.
+        for r in &resolved {
+            if let Resolved::Push { src, dst, msg } = r {
+                let d = dst.as_usize();
+                let bits = self.header_bits + msg.size_bits();
+                stats.messages += 1;
+                stats.bits += bits;
+                self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                self.metrics.pushes += 1;
+                self.metrics.payload_messages += 1;
+                self.fan_in[d] += 1;
+                let lost = self.loss > 0.0 && self.rng.gen_bool(self.loss);
+                if self.alive[d] && !lost {
+                    self.trace.record(Event { round: self.round, from: *src, to: *dst, kind: EventKind::Push });
+                    deliver(
+                        &mut self.states[d],
+                        Delivery::Push { from: self.ids.id_of(*src), msg: msg.clone() },
+                    );
+                } else {
+                    self.trace.record(Event { round: self.round, from: *src, to: *dst, kind: EventKind::DroppedDead });
+                }
+            }
+        }
+
+        // Phase 4: deliver pull replies, then pulled-by notifications.
+        for (r, resp) in resolved.iter().zip(responses) {
+            if let Resolved::Pull { src, dst } = r {
+                let (_, reply) = resp.expect("pull entries carry responses");
+                // The request itself: header-only message.
+                stats.messages += 1;
+                stats.bits += self.header_bits;
+                self.metrics.pull_requests += 1;
+                self.fan_in[dst.as_usize()] += 1;
+                self.trace.record(Event { round: self.round, from: *src, to: *dst, kind: EventKind::PullRequest });
+                if let Some(msg) = reply {
+                    let bits = self.header_bits + msg.size_bits();
+                    stats.messages += 1;
+                    stats.bits += bits;
+                    self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                    self.metrics.pull_replies += 1;
+                    self.metrics.payload_messages += 1;
+                    self.trace.record(Event { round: self.round, from: *dst, to: *src, kind: EventKind::PullReply });
+                    deliver(
+                        &mut self.states[src.as_usize()],
+                        Delivery::PullReply { from: self.ids.id_of(*dst), msg },
+                    );
+                }
+            }
+        }
+        for r in &resolved {
+            if let Resolved::Pull { src, dst } = r {
+                let d = dst.as_usize();
+                if self.alive[d] {
+                    deliver(&mut self.states[d], Delivery::PulledBy(self.ids.id_of(*src)));
+                }
+            }
+        }
+
+        stats.max_fan_in = u64::from(self.fan_in.iter().max().copied().unwrap_or(0));
+        self.metrics.rounds += 1;
+        self.metrics.messages += stats.messages;
+        self.metrics.bits += stats.bits;
+        self.metrics.max_fan_in = self.metrics.max_fan_in.max(stats.max_fan_in);
+        self.metrics.per_round.push(stats.clone());
+        self.round += 1;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Unit;
+    impl Wire for Unit {
+        fn size_bits(&self) -> u64 {
+            8
+        }
+    }
+
+    #[derive(Default, Clone)]
+    struct St {
+        pushes: u32,
+        replies: u32,
+        pulled_by: u32,
+    }
+
+    fn everyone_pushes(net: &mut Network<St>) -> RoundStats {
+        net.round(
+            |_ctx, _rng| Action::Push { to: Target::Random, msg: Unit },
+            |_s| None,
+            |s, d| {
+                if matches!(d, Delivery::Push { .. }) {
+                    s.pushes += 1;
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn push_round_counts_messages_and_bits() {
+        let mut net: Network<St> = Network::new(16, 1);
+        let stats = everyone_pushes(&mut net);
+        assert_eq!(stats.messages, 16);
+        assert_eq!(stats.bits, 16 * (header_bits(16) + 8));
+        assert_eq!(net.metrics().pushes, 16);
+        assert_eq!(net.metrics().rounds, 1);
+        let delivered: u32 = net.states().iter().map(|s| s.pushes).sum();
+        assert_eq!(delivered, 16, "all targets are alive, all pushes deliver");
+    }
+
+    #[test]
+    fn pull_round_charges_request_and_reply() {
+        let mut net: Network<St> = Network::new(8, 2);
+        let stats = net.round(
+            |ctx, _rng| {
+                if ctx.idx.0 == 0 {
+                    Action::<Unit>::Pull { to: Target::Random }
+                } else {
+                    Action::Idle
+                }
+            },
+            |_s| Some(Unit),
+            |s, d| match d {
+                Delivery::PullReply { .. } => s.replies += 1,
+                Delivery::PulledBy(_) => s.pulled_by += 1,
+                Delivery::Push { .. } => {}
+            },
+        );
+        assert_eq!(stats.messages, 2, "request + reply");
+        assert_eq!(net.metrics().pull_requests, 1);
+        assert_eq!(net.metrics().pull_replies, 1);
+        assert_eq!(net.states()[0].replies, 1);
+        let pulled: u32 = net.states().iter().map(|s| s.pulled_by).sum();
+        assert_eq!(pulled, 1);
+    }
+
+    #[test]
+    fn silent_responder_charges_only_request() {
+        let mut net: Network<St> = Network::new(8, 3);
+        let stats = net.round(
+            |ctx, _rng| {
+                if ctx.idx.0 == 0 {
+                    Action::<Unit>::Pull { to: Target::Random }
+                } else {
+                    Action::Idle
+                }
+            },
+            |_s| None,
+            |_s, _d| {},
+        );
+        assert_eq!(stats.messages, 1);
+        assert_eq!(net.metrics().pull_replies, 0);
+    }
+
+    #[test]
+    fn dead_nodes_neither_act_nor_respond() {
+        let mut net: Network<St> = Network::new(4, 4);
+        net.apply_failures(&FailurePlan::explicit(vec![NodeIdx(1), NodeIdx(2), NodeIdx(3)]));
+        assert_eq!(net.alive_count(), 1);
+        // Node 0 pulls a random node: all candidates are dead, so no reply.
+        let stats = net.round(
+            |ctx, _rng| {
+                if ctx.idx.0 == 0 {
+                    Action::<Unit>::Pull { to: Target::Random }
+                } else {
+                    Action::Push { to: Target::Random, msg: Unit }
+                }
+            },
+            |_s| Some(Unit),
+            |s, d| {
+                if matches!(d, Delivery::PullReply { .. }) {
+                    s.replies += 1;
+                }
+            },
+        );
+        assert_eq!(stats.initiators, 1, "dead nodes do not act");
+        assert_eq!(net.states()[0].replies, 0, "dead nodes do not respond");
+    }
+
+    #[test]
+    fn direct_addressing_reaches_exact_target() {
+        let mut net: Network<St> = Network::new(8, 5);
+        let target_id = net.id_of(NodeIdx(5));
+        net.round(
+            |ctx, _rng| {
+                if ctx.idx.0 == 0 {
+                    Action::Push { to: Target::Direct(target_id), msg: Unit }
+                } else {
+                    Action::Idle
+                }
+            },
+            |_s| None,
+            |s, d| {
+                if matches!(d, Delivery::Push { .. }) {
+                    s.pushes += 1;
+                }
+            },
+        );
+        for (i, s) in net.states().iter().enumerate() {
+            assert_eq!(s.pushes, u32::from(i == 5), "only node 5 receives");
+        }
+    }
+
+    #[test]
+    fn fan_in_tracks_concentration() {
+        // Everyone pushes directly to node 0: fan-in at node 0 is n-1.
+        let mut net: Network<St> = Network::new(10, 6);
+        let hub = net.id_of(NodeIdx(0));
+        let stats = net.round(
+            |ctx, _rng| {
+                if ctx.idx.0 == 0 {
+                    Action::Idle
+                } else {
+                    Action::Push { to: Target::Direct(hub), msg: Unit }
+                }
+            },
+            |_s| None,
+            |_s, _d| {},
+        );
+        assert_eq!(stats.max_fan_in, 9);
+        assert_eq!(net.metrics().max_fan_in, 9);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net: Network<St> = Network::new(64, seed);
+            for _ in 0..5 {
+                everyone_pushes(&mut net);
+            }
+            net.states().iter().map(|s| s.pushes).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn random_target_never_hits_self() {
+        // With n=2 a random target is always "the other" node.
+        let mut net: Network<St> = Network::new(2, 7);
+        for _ in 0..50 {
+            net.round(
+                |ctx, _| {
+                    if ctx.idx.0 == 0 {
+                        Action::Push { to: Target::Random, msg: Unit }
+                    } else {
+                        Action::Idle
+                    }
+                },
+                |_s| None,
+                |s, d| {
+                    if matches!(d, Delivery::Push { .. }) {
+                        s.pushes += 1;
+                    }
+                },
+            );
+        }
+        assert_eq!(net.states()[0].pushes, 0);
+        assert_eq!(net.states()[1].pushes, 50);
+    }
+
+    #[test]
+    fn full_loss_delivers_nothing() {
+        let mut net: Network<St> = Network::new(16, 9);
+        net.set_message_loss(1.0);
+        everyone_pushes(&mut net);
+        let delivered: u32 = net.states().iter().map(|s| s.pushes).sum();
+        assert_eq!(delivered, 0, "every push lost");
+        assert_eq!(net.metrics().messages, 16, "senders still paid");
+        // Pulls are never answered either.
+        net.round(
+            |_ctx, _rng| Action::<Unit>::Pull { to: Target::Random },
+            |_s| Some(Unit),
+            |s, d| {
+                if matches!(d, Delivery::PullReply { .. }) {
+                    s.replies += 1;
+                }
+            },
+        );
+        assert_eq!(net.metrics().pull_replies, 0);
+    }
+
+    #[test]
+    fn partial_loss_drops_roughly_p() {
+        let mut net: Network<St> = Network::new(2000, 10);
+        net.set_message_loss(0.25);
+        everyone_pushes(&mut net);
+        let delivered: u32 = net.states().iter().map(|s| s.pushes).sum();
+        let frac = f64::from(delivered) / 2000.0;
+        assert!((0.68..=0.82).contains(&frac), "~75% delivered, got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0,1]")]
+    fn invalid_loss_rejected() {
+        let mut net: Network<St> = Network::new(4, 0);
+        net.set_message_loss(1.5);
+    }
+
+    #[test]
+    fn trace_records_pushes() {
+        let mut net: Network<St> = Network::new(4, 8);
+        net.enable_trace(100);
+        everyone_pushes(&mut net);
+        assert_eq!(net.trace().events().len(), 4);
+        assert!(net.trace().events().iter().all(|e| e.kind == EventKind::Push));
+    }
+}

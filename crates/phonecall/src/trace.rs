@@ -1,0 +1,116 @@
+//! Optional event tracing for debugging and the examples.
+//!
+//! Tracing is off by default (zero cost beyond a branch); when enabled it
+//! records a bounded number of communication events which examples print
+//! and tests inspect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeIdx;
+
+/// Kind of a traced communication event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A push was delivered.
+    Push,
+    /// A pull request was issued.
+    PullRequest,
+    /// A pull was answered.
+    PullReply,
+    /// A message addressed to a failed node was dropped.
+    DroppedDead,
+}
+
+/// One traced communication event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Round in which the event happened.
+    pub round: u64,
+    /// Initiating node.
+    pub from: NodeIdx,
+    /// Target node.
+    pub to: NodeIdx,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A bounded event log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// An enabled trace keeping at most `cap` events.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace { enabled: true, cap, events: Vec::new(), dropped: 0 }
+    }
+
+    /// Whether events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled and below capacity.
+    pub fn record(&mut self, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.cap {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events that could not be recorded because the capacity was reached.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: u64) -> Event {
+        Event { round, from: NodeIdx(0), to: NodeIdx(1), kind: EventKind::Push }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(ev(0));
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_is_honored() {
+        let mut t = Trace::with_capacity(2);
+        for r in 0..5 {
+            t.record(ev(r));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[0].round, 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Wire sizing: every payload type reports its size in bits so the engine
+//! can charge bit complexity exactly as the paper counts it.
+
+/// A payload that can be sent in a PUSH or as a PULL response.
+///
+/// Implementors report their encoded size in bits; the engine adds a
+/// [`header_bits`]-sized envelope per message. Payload sizes should follow
+/// the paper's accounting: a node ID costs `⌈log₂ of the ID space⌉` bits, a
+/// counter `O(log n)` bits, and the rumor its configured `b` bits.
+pub trait Wire {
+    /// Encoded payload size in bits (excluding the message header).
+    fn size_bits(&self) -> u64;
+}
+
+impl Wire for () {
+    fn size_bits(&self) -> u64 {
+        0
+    }
+}
+
+impl Wire for u64 {
+    fn size_bits(&self) -> u64 {
+        64
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn size_bits(&self) -> u64 {
+        1 + self.as_ref().map_or(0, Wire::size_bits)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn size_bits(&self) -> u64 {
+        // Length prefix plus elements.
+        32 + self.iter().map(Wire::size_bits).sum::<u64>()
+    }
+}
+
+/// Size in bits of the fixed per-message header.
+///
+/// The paper assumes a polynomially large ID space, i.e. IDs of `Θ(log n)`
+/// bits; a message envelope names its sender and receiver, so we charge
+/// `2·⌈log₂ n²⌉ = 4·⌈log₂ n⌉` bits (IDs drawn from an `n²`-sized space is
+/// the canonical "polynomially large" choice — any fixed polynomial only
+/// changes constants).
+///
+/// ```
+/// assert_eq!(phonecall::header_bits(1024), 40);
+/// ```
+#[must_use]
+pub fn header_bits(n: usize) -> u64 {
+    let log_n = (usize::BITS - n.next_power_of_two().leading_zeros() - 1) as u64;
+    4 * log_n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_grows_logarithmically() {
+        assert_eq!(header_bits(2), 4);
+        assert_eq!(header_bits(1 << 10), 40);
+        assert_eq!(header_bits(1 << 20), 80);
+        assert!(header_bits(3) >= header_bits(2));
+    }
+
+    #[test]
+    fn builtin_wire_sizes() {
+        assert_eq!(().size_bits(), 0);
+        assert_eq!(7u64.size_bits(), 64);
+        assert_eq!(Some(7u64).size_bits(), 65);
+        assert_eq!(None::<u64>.size_bits(), 1);
+        assert_eq!(vec![1u64, 2u64].size_bits(), 32 + 128);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the phone-call engine itself.
+
+use phonecall::{Action, Delivery, FailurePlan, Network, Target, Wire};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Blob(u64);
+
+impl Wire for Blob {
+    fn size_bits(&self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Default, Clone, PartialEq, Debug)]
+struct St {
+    got: u32,
+    replies: u32,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Message and bit accounting is exact for an all-push round:
+    /// `messages = alive`, `bits = alive * (header + payload)`.
+    #[test]
+    fn push_accounting_is_exact(n in 2usize..300, seed in 0u64..1000, payload in 0u64..500, dead_frac in 0u32..50) {
+        let mut net: Network<St> = Network::new(n, seed);
+        let f = n * dead_frac as usize / 100;
+        net.apply_failures(&FailurePlan::random(n, f, seed));
+        let alive = net.alive_count() as u64;
+        let stats = net.round(
+            |_ctx, _rng| Action::Push { to: Target::Random, msg: Blob(payload) },
+            |_s| None,
+            |s, d| if matches!(d, Delivery::Push { .. }) { s.got += 1 },
+        );
+        prop_assert_eq!(stats.messages, alive);
+        prop_assert_eq!(stats.bits, alive * (phonecall::header_bits(n) + payload));
+        prop_assert_eq!(stats.initiators, alive);
+        // Deliveries: only pushes to alive targets arrive.
+        let delivered: u32 = net.states().iter().map(|s| s.got).sum();
+        prop_assert!(u64::from(delivered) <= alive);
+    }
+
+    /// Pull accounting: requests = alive pullers; replies ≤ requests; a
+    /// reply happens exactly when the target is alive and responds.
+    #[test]
+    fn pull_accounting_is_exact(n in 2usize..300, seed in 0u64..1000, dead_frac in 0u32..50) {
+        let mut net: Network<St> = Network::new(n, seed);
+        let f = n * dead_frac as usize / 100;
+        net.apply_failures(&FailurePlan::random(n, f, seed ^ 1));
+        let alive = net.alive_count() as u64;
+        net.round(
+            |_ctx, _rng| Action::<Blob>::Pull { to: Target::Random },
+            |_s| Some(Blob(8)),
+            |s, d| if matches!(d, Delivery::PullReply { .. }) { s.replies += 1 },
+        );
+        let m = net.metrics();
+        prop_assert_eq!(m.pull_requests, alive);
+        prop_assert!(m.pull_replies <= m.pull_requests);
+        let replies: u32 = net.states().iter().map(|s| s.replies).sum();
+        prop_assert_eq!(u64::from(replies), m.pull_replies);
+        // With no failures every pull must be answered.
+        if f == 0 {
+            prop_assert_eq!(m.pull_replies, alive);
+        }
+    }
+
+    /// Determinism: identical seeds produce identical metrics and states.
+    #[test]
+    fn engine_determinism(n in 2usize..200, seed in 0u64..10_000, rounds in 1u32..8) {
+        let run = |seed: u64| {
+            let mut net: Network<St> = Network::new(n, seed);
+            for _ in 0..rounds {
+                net.round(
+                    |_ctx, _rng| Action::Push { to: Target::Random, msg: Blob(4) },
+                    |_s| None,
+                    |s, d| if matches!(d, Delivery::Push { .. }) { s.got += 1 },
+                );
+            }
+            (net.metrics().clone(), net.states().to_vec())
+        };
+        let (m1, s1) = run(seed);
+        let (m2, s2) = run(seed);
+        prop_assert_eq!(m1, m2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Fan-in never exceeds the number of communications physically
+    /// possible, and per-round stats sum to the aggregate metrics.
+    #[test]
+    fn fan_in_and_round_sums(n in 2usize..200, seed in 0u64..1000, rounds in 1u32..6) {
+        let mut net: Network<St> = Network::new(n, seed);
+        for _ in 0..rounds {
+            net.round(
+                |_ctx, _rng| Action::Push { to: Target::Random, msg: Blob(1) },
+                |_s| None,
+                |_s, _d| {},
+            );
+        }
+        let m = net.metrics();
+        prop_assert!(m.max_fan_in <= n as u64, "fan-in bounded by n");
+        prop_assert_eq!(m.per_round.len() as u32, rounds);
+        let sum_msgs: u64 = m.per_round.iter().map(|r| r.messages).sum();
+        let sum_bits: u64 = m.per_round.iter().map(|r| r.bits).sum();
+        prop_assert_eq!(sum_msgs, m.messages);
+        prop_assert_eq!(sum_bits, m.bits);
+        let max_fan: u64 = m.per_round.iter().map(|r| r.max_fan_in).max().unwrap_or(0);
+        prop_assert_eq!(max_fan, m.max_fan_in);
+    }
+
+    /// Direct addressing hits exactly the addressed node; unknown IDs
+    /// deliver nothing but still count as initiated.
+    #[test]
+    fn direct_addressing_is_precise(n in 3usize..200, seed in 0u64..1000, target in 1usize..100) {
+        let target = target % (n - 1) + 1;
+        let mut net: Network<St> = Network::new(n, seed);
+        let tid = net.id_of(phonecall::NodeIdx(target as u32));
+        net.round(
+            |ctx, _rng| {
+                if ctx.idx.0 == 0 {
+                    Action::Push { to: Target::Direct(tid), msg: Blob(2) }
+                } else {
+                    Action::Idle
+                }
+            },
+            |_s| None,
+            |s, d| if matches!(d, Delivery::Push { .. }) { s.got += 1 },
+        );
+        for (i, s) in net.states().iter().enumerate() {
+            prop_assert_eq!(s.got, u32::from(i == target), "only the target receives");
+        }
+    }
+}

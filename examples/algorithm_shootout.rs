@@ -1,0 +1,81 @@
+//! The full shoot-out: every algorithm in the repository on one grid,
+//! with the paper's predicted scaling next to the measurement — a
+//! miniature of experiments E1/E2 (see EXPERIMENTS.md for the real ones).
+//!
+//! ```text
+//! cargo run --release --example algorithm_shootout
+//! ```
+
+use optimal_gossip::prelude::*;
+
+fn main() {
+    let sizes = [1usize << 9, 1 << 11, 1 << 13];
+    let mut common = CommonConfig::default();
+    common.seed = 5;
+
+    println!("rounds (and msgs/node) to inform all nodes\n");
+    print!("{:<14} {:>10}", "algorithm", "law");
+    for n in sizes {
+        print!(" {:>16}", format!("n=2^{}", n.trailing_zeros()));
+    }
+    println!();
+
+    type Runner = Box<dyn Fn(usize) -> RunReport>;
+    let runs: Vec<(&str, &str, Runner)> = vec![
+        ("Cluster2", "loglog n", {
+            let common = common.clone();
+            Box::new(move |n| {
+                let mut c = Cluster2Config::default();
+                c.common = common.clone();
+                cluster2::run(n, &c)
+            })
+        }),
+        ("Cluster1", "loglog n", {
+            let common = common.clone();
+            Box::new(move |n| {
+                let mut c = Cluster1Config::default();
+                c.common = common.clone();
+                cluster1::run(n, &c)
+            })
+        }),
+        ("AvinElsasser", "sqrt(log)", {
+            let common = common.clone();
+            Box::new(move |n| avin_elsasser::run(n, &common))
+        }),
+        ("Karp", "log n", {
+            let common = common.clone();
+            Box::new(move |n| karp::run(n, &common))
+        }),
+        ("PushPull", "log n", {
+            let common = common.clone();
+            Box::new(move |n| push_pull::run(n, &common))
+        }),
+        ("Push", "log n", {
+            let common = common.clone();
+            Box::new(move |n| push::run(n, &common))
+        }),
+        ("Pull", "log n", {
+            let common = common.clone();
+            Box::new(move |n| pull::run(n, &common))
+        }),
+    ];
+
+    for (name, law, run) in &runs {
+        print!("{:<14} {:>10}", name, law);
+        for &n in &sizes {
+            let r = run(n);
+            assert!(r.success, "{name} failed at n={n}");
+            print!(" {:>16}", format!("{} ({:.0}m)", r.rounds, r.messages_per_node()));
+        }
+        println!();
+    }
+
+    println!(
+        "\nAnd the lower bound (Theorem 3): P[any algorithm can finish in T rounds]\n\
+         for n = 2^13 — the 0 -> 1 threshold sits at T ~ log2 log2 n = 3.7:"
+    );
+    for t in 1..=6 {
+        let p = estimate_success(1 << 13, t, 10, 3);
+        println!("  T = {t}: {p:.2}");
+    }
+}

@@ -1,0 +1,60 @@
+//! The clustering as infrastructure: once `Cluster2` has built its
+//! network-spanning cluster, the paper's "multitude of coordination
+//! tasks" cost two rounds each — and the whole pipeline works even when
+//! the nodes do not know `n` (guess-test-and-double, Section 2).
+//!
+//! ```text
+//! cargo run --release --example coordination_tasks
+//! ```
+
+use optimal_gossip::core::tasks::{
+    aggregate, build_spanning_cluster, count_alive, elected_leader, Combine,
+};
+use optimal_gossip::core::{broadcast_success_test, run_unknown_n};
+use optimal_gossip::prelude::*;
+
+fn main() {
+    let n = 1 << 12;
+    let mut cfg = Cluster2Config::default();
+    cfg.common.seed = 31;
+
+    // --- 1. Build the spanning cluster (also broadcasts the rumor). ---
+    println!("Building a spanning cluster over {n} nodes with Cluster2...");
+    let (mut sim, report) = build_spanning_cluster(n, &cfg);
+    println!(
+        "  done in {} rounds, {:.1} msgs/node; broadcast success: {}\n",
+        report.rounds,
+        report.messages_per_node(),
+        report.success
+    );
+
+    // --- 2. Leader election: free. ---
+    let leader = elected_leader(&sim).expect("one spanning cluster");
+    println!("Elected leader (= cluster leader, zero extra rounds): {leader}");
+
+    // --- 3. Counting: two rounds. ---
+    let count = count_alive(&mut sim);
+    println!("Network-wide node count (2 rounds): {count}");
+
+    // --- 4. Aggregation: two rounds each. ---
+    let load: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 100).collect();
+    let total = aggregate(&mut sim, &load, Combine::Sum);
+    let peak = aggregate(&mut sim, &load, Combine::Max);
+    println!("Sum of per-node load values (2 rounds): {total}");
+    println!("Peak load (2 rounds): {peak}");
+
+    // --- 5. Self-verification: the Section 2 whp success test. ---
+    let test = broadcast_success_test(&mut sim);
+    println!("\nWhp success self-test ({} rounds): verdict = {}", test.rounds, test.verdict);
+
+    // --- 6. The same broadcast when nodes do NOT know n. ---
+    println!("\nGuess-test-and-double (nodes do not know n):");
+    let unknown = run_unknown_n(n, &cfg);
+    println!(
+        "  guesses tried: {:?}\n  total rounds {} (known-n run: {}), final success: {}",
+        unknown.guesses,
+        unknown.total_rounds,
+        report.rounds,
+        unknown.final_run.success
+    );
+}

@@ -1,0 +1,58 @@
+//! Theorem 19 in action: an oblivious adversary kills 25% of the fleet at
+//! time zero, and the gossip still informs (all but `o(F)` of) the
+//! survivors without losing its round/message guarantees.
+//!
+//! ```text
+//! cargo run --example fault_tolerant_broadcast
+//! ```
+
+use optimal_gossip::prelude::*;
+
+fn main() {
+    let n = 1 << 13;
+    let f = n / 4;
+
+    println!("{n} nodes, adversary fails {f} of them before round 0\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>16} {:>14}",
+        "algorithm", "alive", "rounds", "msgs/node", "informed", "uninformed/F"
+    );
+
+    for (name, fail) in [("Cluster2", true), ("Cluster2*", false), ("Karp", true)] {
+        let mut common = CommonConfig::default();
+        common.seed = 99;
+        if fail {
+            common.failures = FailurePlan::random(n, f, 1234);
+            // Keep the source alive (the task assumes a surviving source).
+            if common.failures.failed().iter().any(|i| i.0 == common.source) {
+                common.source = (0..n as u32)
+                    .find(|i| !common.failures.failed().iter().any(|x| x.0 == *i))
+                    .expect("not all nodes failed");
+            }
+        }
+        let report = match name {
+            "Karp" => karp::run(n, &common),
+            _ => {
+                let mut cfg = Cluster2Config::default();
+                cfg.common = common;
+                cluster2::run(n, &cfg)
+            }
+        };
+        println!(
+            "{:<10} {:>8} {:>10} {:>12.1} {:>16} {:>14.4}",
+            name,
+            report.alive,
+            report.rounds,
+            report.messages_per_node(),
+            format!("{}/{}", report.informed, report.alive),
+            report.uninformed() as f64 / f as f64,
+        );
+    }
+
+    println!(
+        "\n(Cluster2* = the same run without failures, for comparison.)\n\
+         Reading: 25% oblivious failures change neither the round count nor\n\
+         the per-node message budget, and the fraction of survivors left\n\
+         uninformed is o(F) — here typically exactly zero (Theorem 19)."
+    );
+}

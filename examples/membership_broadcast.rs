@@ -1,0 +1,60 @@
+//! A systems-flavoured scenario: a cluster-membership service pushes a
+//! configuration epoch to every replica.
+//!
+//! This is the workload the paper's introduction motivates: coordination
+//! and information dissemination in a large distributed system, where we
+//! want *few rounds* (tail latency), *few messages* (NIC budget) and
+//! robustness. We broadcast a configuration blob with each algorithm and
+//! print an operator-style comparison.
+//!
+//! ```text
+//! cargo run --example membership_broadcast
+//! ```
+
+use optimal_gossip::prelude::*;
+
+fn main() {
+    let n = 1 << 13; // 8_192 replicas
+    let config_blob_bits = 8 * 1024; // a 1 KiB membership snapshot
+    let mut common = CommonConfig::default();
+    common.seed = 2024;
+    common.rumor_bits = config_blob_bits;
+
+    println!("Propagating a 1 KiB membership epoch to {n} replicas\n");
+    println!(
+        "{:<14} {:>7} {:>12} {:>14} {:>12}",
+        "algorithm", "rounds", "msgs/node", "KiB/node", "max fan-in"
+    );
+
+    let mut c2 = Cluster2Config::default();
+    c2.common = common.clone();
+    let mut c1 = Cluster1Config::default();
+    c1.common = common.clone();
+
+    let rows: Vec<(&str, RunReport)> = vec![
+        ("Cluster2", cluster2::run(n, &c2)),
+        ("Cluster1", cluster1::run(n, &c1)),
+        ("Karp", karp::run(n, &common)),
+        ("PushPull", push_pull::run(n, &common)),
+        ("Push", push::run(n, &common)),
+    ];
+
+    for (name, r) in &rows {
+        assert!(r.success, "{name} failed to reach all replicas");
+        println!(
+            "{:<14} {:>7} {:>12.1} {:>14.1} {:>12}",
+            name,
+            r.rounds,
+            r.messages_per_node(),
+            r.bits_per_node() / 8.0 / 1024.0,
+            r.max_fan_in
+        );
+    }
+
+    println!(
+        "\nReading: with a payload this large the bit budget is dominated by\n\
+         rumor copies. Cluster2 delivers ~1 copy per replica (O(nb) total),\n\
+         while PUSH re-sends the blob every round — its KiB/node column is\n\
+         the Θ(log n) factor the paper eliminates."
+    );
+}

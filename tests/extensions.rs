@@ -1,0 +1,147 @@
+//! Integration tests for the extension features: success testing,
+//! guess-test-and-double, the cluster task library, multi-source
+//! broadcast, the oracle tree reference and the Lemma 14 dynamics.
+
+use optimal_gossip::core::tasks::{
+    aggregate, build_spanning_cluster, count_alive, elected_leader, Combine,
+};
+use optimal_gossip::core::{broadcast_success_test, run_unknown_n};
+use optimal_gossip::lowerbound::knowledge::rounds_to_complete;
+use optimal_gossip::prelude::*;
+
+#[test]
+fn success_test_agrees_with_ground_truth_after_real_runs() {
+    for seed in [1u64, 2, 3] {
+        let mut cfg = Cluster2Config::default();
+        cfg.common.seed = seed;
+        let mut sim = ClusterSim::new(1024, &cfg.common);
+        let report = cluster2::run_on(&mut sim, &cfg);
+        let test = optimal_gossip::core::estimate::broadcast_success_test(&mut sim);
+        assert_eq!(
+            test.verdict,
+            report.informed == report.alive,
+            "seed {seed}: test verdict must match ground truth"
+        );
+    }
+}
+
+#[test]
+fn unknown_n_broadcast_succeeds_with_bounded_overhead() {
+    let cfg = Cluster2Config::default();
+    let n = 1 << 11;
+    let unknown = run_unknown_n(n, &cfg);
+    assert!(unknown.final_run.success);
+    // Constant-factor overhead over the known-n run (guesses square, so
+    // only O(log log n) attempts happen; assert a generous 6x).
+    let known = cluster2::run(n, &cfg);
+    assert!(
+        unknown.total_rounds <= 6 * known.rounds,
+        "unknown-n used {} rounds vs known-n {}",
+        unknown.total_rounds,
+        known.rounds
+    );
+}
+
+#[test]
+fn task_library_over_real_spanning_cluster() {
+    let mut cfg = Cluster2Config::default();
+    cfg.common.seed = 4;
+    let (mut sim, report) = build_spanning_cluster(1 << 10, &cfg);
+    assert!(report.success);
+    // Leader election is free.
+    let leader = elected_leader(&sim).expect("one spanning cluster");
+    // Counting costs 2 rounds.
+    assert_eq!(count_alive(&mut sim), 1 << 10);
+    // Aggregation: the sum of node indices.
+    let values: Vec<u64> = (0..1u64 << 10).collect();
+    let expect: u64 = values.iter().sum();
+    assert_eq!(aggregate(&mut sim, &values, Combine::Sum), expect);
+    assert_eq!(aggregate(&mut sim, &values, Combine::Max), (1 << 10) - 1);
+    // The elected leader did not change along the way.
+    assert_eq!(elected_leader(&sim), Some(leader));
+}
+
+#[test]
+fn multi_source_broadcast_works_everywhere() {
+    let mut common = CommonConfig::default();
+    common.seed = 5;
+    common.source = 0;
+    common.extra_sources = vec![100, 200, 300];
+    let mut c2 = Cluster2Config::default();
+    c2.common = common.clone();
+    let r = cluster2::run(1 << 10, &c2);
+    assert!(r.success);
+    let r = push::run(1 << 10, &common);
+    assert!(r.success);
+    // Multiple sources can only speed things up.
+    let mut single = CommonConfig::default();
+    single.seed = 5;
+    let r_single = push::run(1 << 10, &single);
+    assert!(r.rounds <= r_single.rounds + 2);
+}
+
+#[test]
+fn oracle_tree_matches_lemma16_exactly() {
+    use optimal_gossip::baselines::tree;
+    for delta in [2usize, 8, 32] {
+        let r = tree::run(1 << 10, delta, &CommonConfig::default());
+        assert!(r.success);
+        assert_eq!(r.rounds, tree::predicted_rounds(1 << 10, delta));
+        assert!(r.max_fan_in <= delta as u64);
+        // Lemma 16: rounds >= log n / log delta.
+        let bound = (10.0 / (delta as f64).log2()).floor() as u64;
+        assert!(r.rounds >= bound, "rounds {} vs bound {bound}", r.rounds);
+    }
+}
+
+#[test]
+fn cluster_push_pull_stays_above_oracle_tree() {
+    // The clustering algorithm can never beat the free-addresses optimum
+    // at the same delta.
+    use optimal_gossip::baselines::tree;
+    let n = 1 << 12;
+    for delta in [16usize, 256] {
+        let mut cfg = PushPullConfig::default();
+        cfg.common.seed = 6;
+        let real = cluster_push_pull::run(n, delta, &cfg);
+        let oracle = tree::run(n, delta, &CommonConfig::default());
+        assert!(real.success && oracle.success);
+        assert!(real.rounds >= oracle.rounds);
+    }
+}
+
+#[test]
+fn lemma14_dynamics_bracket_the_lower_bound() {
+    // The omnipotent algorithm completes in loglog n + O(1) — i.e. the
+    // lower bound of Theorem 3 is tight.
+    let n = 1 << 11;
+    let rounds = rounds_to_complete(n, 1, 20).expect("completes");
+    let loglog = (n as f64).log2().log2();
+    assert!(
+        (f64::from(rounds) - loglog).abs() <= 3.0,
+        "omnipotent completion {rounds} vs loglog {loglog:.1}"
+    );
+    // And no budget below the Theorem 3 threshold can ever suffice.
+    assert_eq!(estimate_success(n, 1, 5, 0), 0.0);
+}
+
+#[test]
+fn success_test_has_no_false_positives_with_many_holdouts() {
+    // Run the test on engineered near-misses across seeds: with 16+
+    // uninformed nodes out of 512, a false "success" verdict would need
+    // ~496 probes to all miss — probability (31/32)^496 ≈ 1.5e-7.
+    use optimal_gossip::core::Follow;
+    for seed in 0..10u64 {
+        let mut common = CommonConfig::default();
+        common.seed = seed;
+        let mut sim = ClusterSim::new(512, &common);
+        let leader = sim.net.id_of(NodeIdx(0));
+        for i in 0..512 {
+            let s = &mut sim.net.states_mut()[i];
+            s.follow = Follow::Of(leader);
+            s.informed = !(1..=16).contains(&i);
+        }
+        let t = broadcast_success_test(&mut sim);
+        assert!(!t.verdict, "seed {seed}: 16 holdouts must be detected");
+    }
+}

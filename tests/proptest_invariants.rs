@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) on the core invariants: clustering
+//! well-formedness under arbitrary primitive sequences, resize bounds,
+//! merge conservation, engine determinism and metrics consistency, and
+//! the lower-bound graph machinery.
+
+use optimal_gossip::core::primitives::{
+    activate, collect_members, dissolve, flatten_round, grow_push_round, merge_iteration, resize,
+    sample_singletons, size_round, unclustered_pull_round, MergeOpts, MergeRule, Who,
+};
+use optimal_gossip::core::verify::check_clustering;
+use optimal_gossip::prelude::*;
+use proptest::prelude::*;
+
+/// A primitive operation chosen by proptest.
+#[derive(Clone, Debug)]
+enum Op {
+    Grow,
+    Activate(u8),
+    Dissolve(u8),
+    Resize(u8),
+    MergeSmallest,
+    MergeRandom,
+    Flatten,
+    PullJoin,
+    Size,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Grow),
+        (1u8..=100).prop_map(Op::Activate),
+        (2u8..=32).prop_map(Op::Dissolve),
+        (2u8..=32).prop_map(Op::Resize),
+        Just(Op::MergeSmallest),
+        Just(Op::MergeRandom),
+        Just(Op::Flatten),
+        Just(Op::PullJoin),
+        Just(Op::Size),
+    ]
+}
+
+fn apply(sim: &mut ClusterSim, op: &Op) {
+    match op {
+        Op::Grow => {
+            grow_push_round(sim, Who::AllClustered);
+        }
+        Op::Activate(p) => activate(sim, f64::from(*p) / 100.0),
+        Op::Dissolve(s) => dissolve(sim, u64::from(*s), Who::AllClustered),
+        Op::Resize(s) => resize(sim, u64::from(*s), Who::AllClustered),
+        Op::MergeSmallest => {
+            merge_iteration(
+                sim,
+                MergeOpts {
+                    pushers: Who::AllClustered,
+                    inactive_merge_only: false,
+                    rule: MergeRule::Smallest,
+                    smaller_only: true,
+                    mark_merged_active: false,
+                },
+            );
+            flatten_round(sim);
+        }
+        Op::MergeRandom => {
+            merge_iteration(
+                sim,
+                MergeOpts {
+                    pushers: Who::ActiveOnly,
+                    inactive_merge_only: true,
+                    rule: MergeRule::Random,
+                    smaller_only: false,
+                    mark_merged_active: true,
+                },
+            );
+            flatten_round(sim);
+        }
+        Op::Flatten => flatten_round(sim),
+        Op::PullJoin => {
+            unclustered_pull_round(sim);
+        }
+        Op::Size => {
+            collect_members(sim, Who::AllClustered);
+            size_round(sim, Who::AllClustered, None);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Any sequence of primitives leaves the clustering well-formed:
+    /// every clustered node points at an alive leader that follows itself.
+    #[test]
+    fn primitives_preserve_wellformedness(
+        seed in 0u64..1000,
+        p in 1u32..40,
+        ops in prop::collection::vec(op_strategy(), 1..12),
+    ) {
+        let mut common = CommonConfig::default();
+        common.seed = seed;
+        let mut sim = ClusterSim::new(256, &common);
+        sample_singletons(&mut sim, f64::from(p) / 100.0);
+        for op in &ops {
+            apply(&mut sim, op);
+        }
+        // Merges can leave one-hop chains until flattened; flatten twice
+        // (more than the deepest chain a single op sequence can build
+        // between flattens) and then demand perfection.
+        for _ in 0..4 {
+            flatten_round(&mut sim);
+        }
+        prop_assert!(check_clustering(&sim).is_ok());
+    }
+
+    /// Resize always leaves cluster sizes below 2s and never loses nodes.
+    #[test]
+    fn resize_bounds_hold(seed in 0u64..1000, s in 2u64..32, grows in 1u32..7) {
+        let mut common = CommonConfig::default();
+        common.seed = seed;
+        let mut sim = ClusterSim::new(512, &common);
+        sample_singletons(&mut sim, 0.02);
+        for _ in 0..grows {
+            grow_push_round(&mut sim, Who::AllClustered);
+        }
+        let before = sim.clustered_count();
+        resize(&mut sim, s, Who::AllClustered);
+        let stats = sim.clustering_stats();
+        prop_assert_eq!(stats.clustered, before, "no node lost");
+        prop_assert!((stats.max_size as u64) < 2 * s, "max {} vs 2s {}", stats.max_size, 2 * s);
+        prop_assert!(check_clustering(&sim).is_ok());
+    }
+
+    /// Merging never changes the number of clustered nodes.
+    #[test]
+    fn merge_conserves_membership(seed in 0u64..1000, p_act in 10u32..90) {
+        let mut common = CommonConfig::default();
+        common.seed = seed;
+        let mut sim = ClusterSim::new(256, &common);
+        sample_singletons(&mut sim, 1.0);
+        activate(&mut sim, f64::from(p_act) / 100.0);
+        let before = sim.clustered_count();
+        merge_iteration(
+            &mut sim,
+            MergeOpts {
+                pushers: Who::ActiveOnly,
+                inactive_merge_only: true,
+                rule: MergeRule::Random,
+                smaller_only: false,
+                mark_merged_active: true,
+            },
+        );
+        for _ in 0..3 {
+            flatten_round(&mut sim);
+        }
+        prop_assert_eq!(sim.clustered_count(), before);
+        prop_assert!(check_clustering(&sim).is_ok());
+    }
+
+    /// Engine determinism: identical seeds yield identical metrics for
+    /// any (n, rounds) choice.
+    #[test]
+    fn engine_is_deterministic(seed in 0u64..5000, n in 8usize..256, rounds in 1u32..6) {
+        let run = |seed| {
+            let mut common = CommonConfig::default();
+            common.seed = seed;
+            let mut sim = ClusterSim::new(n, &common);
+            sample_singletons(&mut sim, 0.2);
+            for _ in 0..rounds {
+                grow_push_round(&mut sim, Who::AllClustered);
+            }
+            (sim.net.metrics().clone(), sim.clustered_count())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Metrics consistency: message counts decompose exactly into pushes,
+    /// pull requests and pull replies; payload messages never exceed the
+    /// total.
+    #[test]
+    fn metrics_decompose(seed in 0u64..1000, n in 16usize..256) {
+        let mut common = CommonConfig::default();
+        common.seed = seed;
+        let mut cfg = Cluster2Config::default();
+        cfg.common = common;
+        let mut sim = ClusterSim::new(n.max(32), &cfg.common);
+        let _ = cluster2::run_on(&mut sim, &cfg);
+        let m = sim.net.metrics();
+        prop_assert_eq!(m.messages, m.pushes + m.pull_requests + m.pull_replies);
+        prop_assert_eq!(m.payload_messages, m.pushes + m.pull_replies);
+        prop_assert!(m.pull_replies <= m.pull_requests);
+        let round_sum: u64 = m.per_round.iter().map(|r| r.messages).sum();
+        prop_assert_eq!(round_sum, m.messages);
+    }
+
+    /// Lower-bound machinery: certified diameter bounds always contain
+    /// the exact diameter, and the budget decision matches it.
+    #[test]
+    fn diameter_bounds_are_certified(seed in 0u64..1000, n in 16usize..200, t in 1u32..5) {
+        use optimal_gossip::lowerbound::diameter::{bounds, diameter_at_most, exact};
+        use optimal_gossip::lowerbound::graph::sample_union_graph;
+        let g = sample_union_graph(n, t, seed);
+        match exact(&g) {
+            None => {
+                prop_assert!(bounds(&g, 3).is_none());
+                prop_assert!(!diameter_at_most(&g, u64::MAX / 2));
+            }
+            Some(d) => {
+                let b = bounds(&g, 3).expect("connected");
+                prop_assert!(b.lo <= d && d <= b.hi, "[{}, {}] vs {}", b.lo, b.hi, d);
+                for budget in [1u64, 2, 4, 8, 16] {
+                    prop_assert_eq!(diameter_at_most(&g, budget), u64::from(d) <= budget);
+                }
+            }
+        }
+    }
+
+    /// Failure plans: random plans have exactly the requested size and
+    /// stay within range; applying them reduces alive counts accordingly.
+    #[test]
+    fn failure_plans_are_exact(n in 4usize..300, frac in 0u32..90, seed in 0u64..1000) {
+        let f = n * frac as usize / 100;
+        let plan = FailurePlan::random(n, f, seed);
+        prop_assert_eq!(plan.len(), f);
+        let mut common = CommonConfig::default();
+        common.seed = seed;
+        common.failures = plan;
+        if n >= 2 {
+            let sim = ClusterSim::new(n, &common);
+            prop_assert_eq!(sim.alive_count(), n - f);
+        }
+    }
+}
