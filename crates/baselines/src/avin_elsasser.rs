@@ -116,6 +116,10 @@ mod tests {
         let r = run(1 << 12, &cfg);
         assert!(r.success);
         // Θ(√log n) with a small constant: from 12 bits of log, √L ≈ 3.5.
-        assert!(r.messages_per_node() < 25.0 * 3.5, "msgs/node {}", r.messages_per_node());
+        assert!(
+            r.messages_per_node() < 25.0 * 3.5,
+            "msgs/node {}",
+            r.messages_per_node()
+        );
     }
 }

@@ -131,9 +131,15 @@ mod tests {
 
     #[test]
     fn msg_sizes() {
-        let rumor = BaselineMsg::Rumor { birth: 0, bits: 100 };
+        let rumor = BaselineMsg::Rumor {
+            birth: 0,
+            bits: 100,
+        };
         assert_eq!(rumor.size_bits(), 132);
-        let ids = BaselineMsg::IdList { ids: vec![NodeId::from_raw(1)], id_bits: 20 };
+        let ids = BaselineMsg::IdList {
+            ids: vec![NodeId::from_raw(1)],
+            id_bits: 20,
+        };
         assert_eq!(ids.size_bits(), 36);
     }
 

@@ -77,7 +77,10 @@ pub fn run(n: usize, cfg: &CommonConfig) -> RunReport {
                     if age <= push_until {
                         Action::Push {
                             to: Target::Random,
-                            msg: BaselineMsg::Rumor { birth: s.birth, bits: rumor_bits },
+                            msg: BaselineMsg::Rumor {
+                                birth: s.birth,
+                                bits: rumor_bits,
+                            },
                         }
                     } else {
                         Action::Idle
@@ -86,13 +89,22 @@ pub fn run(n: usize, cfg: &CommonConfig) -> RunReport {
                     Action::Pull { to: Target::Random }
                 }
             },
-            |s| s.informed.then_some(BaselineMsg::Rumor { birth: s.birth, bits: rumor_bits }),
+            |s| {
+                s.informed.then_some(BaselineMsg::Rumor {
+                    birth: s.birth,
+                    bits: rumor_bits,
+                })
+            },
             |s, d| {
                 let rumor = match d {
-                    Delivery::Push { msg: BaselineMsg::Rumor { birth, .. }, .. }
-                    | Delivery::PullReply { msg: BaselineMsg::Rumor { birth, .. }, .. } => {
-                        Some(birth)
+                    Delivery::Push {
+                        msg: BaselineMsg::Rumor { birth, .. },
+                        ..
                     }
+                    | Delivery::PullReply {
+                        msg: BaselineMsg::Rumor { birth, .. },
+                        ..
+                    } => Some(birth),
                     _ => None,
                 };
                 if let Some(birth) = rumor {
@@ -142,8 +154,16 @@ mod tests {
     fn rounds_are_logarithmic() {
         let cfg = CommonConfig::default();
         let r = run(1 << 12, &cfg);
-        assert_eq!(r.rounds, total_rounds(1 << 12), "fixed self-terminating schedule");
-        assert!(r.rounds as f64 <= 3.0 * log2n(1 << 12) + 40.0, "rounds {}", r.rounds);
+        assert_eq!(
+            r.rounds,
+            total_rounds(1 << 12),
+            "fixed self-terminating schedule"
+        );
+        assert!(
+            r.rounds as f64 <= 3.0 * log2n(1 << 12) + 40.0,
+            "rounds {}",
+            r.rounds
+        );
     }
 
     #[test]

@@ -88,25 +88,36 @@ pub fn run(n: usize, topology: Topology, cfg: &CommonConfig) -> DiscoveryReport 
 
     let l = gossip_core::config::log2n(n);
     let cap = (4.0 * l * l).ceil() as u64 + 40;
-    let complete_at = |net: &Network<DiscoveryNode>| {
-        net.states().iter().all(|s| s.known.len() == n)
-    };
+    let complete_at =
+        |net: &Network<DiscoveryNode>| net.states().iter().all(|s| s.known.len() == n);
     while !complete_at(&net) && net.round_number() < cap {
         net.round(
             |ctx, rng| {
-                let known: Vec<NodeId> =
-                    ctx.state.known.iter().copied().filter(|k| *k != ctx.id).collect();
+                let known: Vec<NodeId> = ctx
+                    .state
+                    .known
+                    .iter()
+                    .copied()
+                    .filter(|k| *k != ctx.id)
+                    .collect();
                 if known.is_empty() {
                     return Action::Idle;
                 }
                 let target = known[rng.gen_range(0..known.len())];
                 let mut ids: Vec<NodeId> = ctx.state.known.iter().copied().collect();
                 ids.push(ctx.id);
-                Action::Push { to: Target::Direct(target), msg: BaselineMsg::IdList { ids, id_bits } }
+                Action::Push {
+                    to: Target::Direct(target),
+                    msg: BaselineMsg::IdList { ids, id_bits },
+                }
             },
             |_s| None,
             |s, d| {
-                if let Delivery::Push { msg: BaselineMsg::IdList { ids, .. }, from } = d {
+                if let Delivery::Push {
+                    msg: BaselineMsg::IdList { ids, .. },
+                    from,
+                } = d
+                {
                     s.known.insert(from);
                     s.known.extend(ids);
                 }
@@ -157,6 +168,11 @@ mod tests {
         let cfg = CommonConfig::default();
         let ring = run(256, Topology::Ring, &cfg);
         let rnd = run(256, Topology::SparseRandom, &cfg);
-        assert!(rnd.rounds <= ring.rounds, "random {} vs ring {}", rnd.rounds, ring.rounds);
+        assert!(
+            rnd.rounds <= ring.rounds,
+            "random {} vs ring {}",
+            rnd.rounds,
+            ring.rounds
+        );
     }
 }

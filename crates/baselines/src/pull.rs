@@ -34,10 +34,17 @@ pub fn run(n: usize, cfg: &CommonConfig) -> RunReport {
                 }
             },
             |s| {
-                s.informed.then_some(BaselineMsg::Rumor { birth: s.birth, bits: rumor_bits })
+                s.informed.then_some(BaselineMsg::Rumor {
+                    birth: s.birth,
+                    bits: rumor_bits,
+                })
             },
             |s, d| {
-                if let Delivery::PullReply { msg: BaselineMsg::Rumor { birth, .. }, .. } = d {
+                if let Delivery::PullReply {
+                    msg: BaselineMsg::Rumor { birth, .. },
+                    ..
+                } = d
+                {
                     if !s.informed {
                         s.informed = true;
                         s.birth = birth;
@@ -76,7 +83,11 @@ mod tests {
             r.payload_messages_per_node()
         );
         // Requests dominate: Θ(log n) per node from the slow start.
-        assert!(r.messages_per_node() > 5.0, "requests/node {}", r.messages_per_node());
+        assert!(
+            r.messages_per_node() > 5.0,
+            "requests/node {}",
+            r.messages_per_node()
+        );
     }
 
     #[test]
@@ -87,7 +98,16 @@ mod tests {
         let cfg = CommonConfig::default();
         let pu = run(1 << 10, &cfg);
         let ps = crate::push::run(1 << 10, &cfg);
-        assert!(pu.rounds <= ps.rounds + 3, "pull {} vs push {}", pu.rounds, ps.rounds);
-        assert!(pu.rounds >= 8, "still Θ(log n) from one source: {}", pu.rounds);
+        assert!(
+            pu.rounds <= ps.rounds + 3,
+            "pull {} vs push {}",
+            pu.rounds,
+            ps.rounds
+        );
+        assert!(
+            pu.rounds >= 8,
+            "still Θ(log n) from one source: {}",
+            pu.rounds
+        );
     }
 }

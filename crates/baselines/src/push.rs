@@ -33,7 +33,10 @@ pub fn run(n: usize, cfg: &CommonConfig) -> RunReport {
                 if ctx.state.informed {
                     Action::Push {
                         to: Target::Random,
-                        msg: BaselineMsg::Rumor { birth: ctx.state.birth, bits: rumor_bits },
+                        msg: BaselineMsg::Rumor {
+                            birth: ctx.state.birth,
+                            bits: rumor_bits,
+                        },
                     }
                 } else {
                     Action::Idle
@@ -41,7 +44,11 @@ pub fn run(n: usize, cfg: &CommonConfig) -> RunReport {
             },
             |_s| None,
             |s, d| {
-                if let Delivery::Push { msg: BaselineMsg::Rumor { birth, .. }, .. } = d {
+                if let Delivery::Push {
+                    msg: BaselineMsg::Rumor { birth, .. },
+                    ..
+                } = d
+                {
                     if !s.informed {
                         s.informed = true;
                         s.birth = birth;
@@ -73,7 +80,12 @@ mod tests {
         let small = run(1 << 8, &cfg);
         let large = run(1 << 14, &cfg);
         // log₂ n + ln n: 8+5.5=13.5 -> 14+9.7=23.7; ratio ≈ 1.7
-        assert!(large.rounds > small.rounds, "{} vs {}", large.rounds, small.rounds);
+        assert!(
+            large.rounds > small.rounds,
+            "{} vs {}",
+            large.rounds,
+            small.rounds
+        );
         let ratio = large.rounds as f64 / small.rounds as f64;
         assert!((1.2..=2.6).contains(&ratio), "ratio {ratio}");
     }

@@ -32,21 +32,31 @@ pub fn run(n: usize, cfg: &CommonConfig) -> RunReport {
                 if ctx.state.informed {
                     Action::Push {
                         to: Target::Random,
-                        msg: BaselineMsg::Rumor { birth: ctx.state.birth, bits: rumor_bits },
+                        msg: BaselineMsg::Rumor {
+                            birth: ctx.state.birth,
+                            bits: rumor_bits,
+                        },
                     }
                 } else {
                     Action::Pull { to: Target::Random }
                 }
             },
             |s| {
-                s.informed.then_some(BaselineMsg::Rumor { birth: s.birth, bits: rumor_bits })
+                s.informed.then_some(BaselineMsg::Rumor {
+                    birth: s.birth,
+                    bits: rumor_bits,
+                })
             },
             |s, d| {
                 let rumor = match d {
-                    Delivery::Push { msg: BaselineMsg::Rumor { birth, .. }, .. }
-                    | Delivery::PullReply { msg: BaselineMsg::Rumor { birth, .. }, .. } => {
-                        Some(birth)
+                    Delivery::Push {
+                        msg: BaselineMsg::Rumor { birth, .. },
+                        ..
                     }
+                    | Delivery::PullReply {
+                        msg: BaselineMsg::Rumor { birth, .. },
+                        ..
+                    } => Some(birth),
                     _ => None,
                 };
                 if let Some(birth) = rumor {
@@ -80,7 +90,12 @@ mod tests {
         let cfg = CommonConfig::default();
         let pp = run(1 << 12, &cfg);
         let ps = crate::push::run(1 << 12, &cfg);
-        assert!(pp.rounds <= ps.rounds, "push-pull {} vs push {}", pp.rounds, ps.rounds);
+        assert!(
+            pp.rounds <= ps.rounds,
+            "push-pull {} vs push {}",
+            pp.rounds,
+            ps.rounds
+        );
     }
 
     #[test]

@@ -65,8 +65,15 @@ pub fn run(n: usize, delta: usize, cfg: &CommonConfig) -> RunReport {
     // exactly at the node's tree depth (the oracle schedule keeps each
     // responder at exactly its Δ children per round — pulling earlier
     // would stack a node's own pull on top of its children's).
-    let parents: Vec<_> =
-        (0..n).map(|i| if i == 0 { None } else { Some(net.id_of(phonecall::NodeIdx(((i - 1) / delta) as u32))) }).collect();
+    let parents: Vec<_> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(net.id_of(phonecall::NodeIdx(((i - 1) / delta) as u32)))
+            }
+        })
+        .collect();
     let mut depth = vec![0u64; n];
     for i in 1..n {
         depth[i] = depth[(i - 1) / delta] + 1;
@@ -84,14 +91,25 @@ pub fn run(n: usize, delta: usize, cfg: &CommonConfig) -> RunReport {
                     Action::<BaselineMsg>::Idle
                 } else {
                     match parents[i] {
-                        Some(p) => Action::Pull { to: Target::Direct(p) },
+                        Some(p) => Action::Pull {
+                            to: Target::Direct(p),
+                        },
                         None => Action::Idle,
                     }
                 }
             },
-            |s| s.informed.then_some(BaselineMsg::Rumor { birth: s.birth, bits: rumor_bits }),
+            |s| {
+                s.informed.then_some(BaselineMsg::Rumor {
+                    birth: s.birth,
+                    bits: rumor_bits,
+                })
+            },
             |s, d| {
-                if let Delivery::PullReply { msg: BaselineMsg::Rumor { birth, .. }, .. } = d {
+                if let Delivery::PullReply {
+                    msg: BaselineMsg::Rumor { birth, .. },
+                    ..
+                } = d
+                {
                     s.informed = true;
                     s.birth = birth;
                 }

@@ -53,5 +53,10 @@ fn bench_cluster_push_pull(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cluster1, bench_cluster2, bench_cluster_push_pull);
+criterion_group!(
+    benches,
+    bench_cluster1,
+    bench_cluster2,
+    bench_cluster_push_pull
+);
 criterion_main!(benches);

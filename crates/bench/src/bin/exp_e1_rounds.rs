@@ -13,7 +13,11 @@ use gossip_harness::{fit_ratio, geometric_ns, run_trials, AsciiPlot, Table};
 
 fn main() {
     let opts = parse_opts();
-    let ns = if opts.full { geometric_ns(8, 17, 1) } else { geometric_ns(8, 14, 2) };
+    let ns = if opts.full {
+        geometric_ns(8, 17, 1)
+    } else {
+        geometric_ns(8, 14, 2)
+    };
     let trials = if opts.full { 20 } else { 8 };
 
     let header = ns_header(&["algorithm", "law"], &ns);
@@ -22,19 +26,30 @@ fn main() {
 
     let header_b = ns_header(&["algorithm"], &ns);
     let cols_b: Vec<&str> = header_b.iter().map(String::as_str).collect();
-    let mut norm_tbl =
-        Table::new("E1b: rounds / predicted-law(n)  (flat row = predicted shape holds)", &cols_b);
+    let mut norm_tbl = Table::new(
+        "E1b: rounds / predicted-law(n)  (flat row = predicted shape holds)",
+        &cols_b,
+    );
 
     let mut fit_tbl = Table::new(
         "E1c: scaling-law fit (best law by R2, plus predicted law's R2)",
-        &["algorithm", "predicted", "best fit", "best R2", "predicted R2", "c"],
+        &[
+            "algorithm",
+            "predicted",
+            "best fit",
+            "best R2",
+            "predicted R2",
+            "c",
+        ],
     );
 
     let mut fig = AsciiPlot::new("Figure E1: rounds vs n (log-x)", 60, 16);
     for algo in Algo::all() {
         let mut means = Vec::new();
         for &n in &ns {
-            let s = run_trials(0xE1, algo.name(), trials, |seed| algo.run(n, seed).rounds as f64);
+            let s = run_trials(0xE1, algo.name(), trials, |seed| {
+                algo.run(n, seed).rounds as f64
+            });
             means.push(s.mean);
         }
         let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
@@ -47,7 +62,11 @@ fn main() {
         rounds_tbl.push_row(row);
 
         let mut row = vec![algo.name().to_string()];
-        row.extend(ns.iter().zip(&means).map(|(&n, m)| format!("{:.2}", m / law.eval(n as f64))));
+        row.extend(
+            ns.iter()
+                .zip(&means)
+                .map(|(&n, m)| format!("{:.2}", m / law.eval(n as f64))),
+        );
         norm_tbl.push_row(row);
 
         fit_tbl.push_row(vec![
@@ -58,7 +77,13 @@ fn main() {
             format!("{:.4}", predicted_fit.r2),
             format!("{:.2}", predicted_fit.c),
         ]);
-        fig.add_series(algo.name(), ns.iter().zip(&means).map(|(&n, &m)| (n as f64, m)).collect());
+        fig.add_series(
+            algo.name(),
+            ns.iter()
+                .zip(&means)
+                .map(|(&n, &m)| (n as f64, m))
+                .collect(),
+        );
     }
 
     emit(&rounds_tbl, opts);

@@ -14,14 +14,20 @@ use gossip_harness::{geometric_ns, run_trials, Table};
 
 fn main() {
     let opts = parse_opts();
-    let ns = if opts.full { geometric_ns(8, 17, 1) } else { geometric_ns(8, 14, 2) };
+    let ns = if opts.full {
+        geometric_ns(8, 17, 1)
+    } else {
+        geometric_ns(8, 14, 2)
+    };
     let trials = if opts.full { 20 } else { 8 };
 
     let header = ns_header(&["algorithm"], &ns);
     let cols: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut total_tbl = Table::new("E2: total messages per node (requests included)", &cols);
-    let mut payload_tbl =
-        Table::new("E2b: payload-bearing messages per node (rumor/ID transmissions)", &cols);
+    let mut payload_tbl = Table::new(
+        "E2b: payload-bearing messages per node (rumor/ID transmissions)",
+        &cols,
+    );
     let mut growth_tbl = Table::new(
         "E2c: growth factor from smallest to largest n (flat ~ O(1))",
         &["algorithm", "total growth", "payload growth"],
@@ -49,7 +55,10 @@ fn main() {
         growth_tbl.push_row(vec![
             algo.name().to_string(),
             format!("{:.2}x", totals.last().unwrap() / totals.first().unwrap()),
-            format!("{:.2}x", payloads.last().unwrap() / payloads.first().unwrap()),
+            format!(
+                "{:.2}x",
+                payloads.last().unwrap() / payloads.first().unwrap()
+            ),
         ]);
     }
 

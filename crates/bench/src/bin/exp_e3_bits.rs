@@ -10,7 +10,11 @@ use gossip_harness::{geometric_ns, run_trials, Table};
 
 fn main() {
     let opts = parse_opts();
-    let ns = if opts.full { geometric_ns(9, 16, 1) } else { geometric_ns(9, 14, 2) };
+    let ns = if opts.full {
+        geometric_ns(9, 16, 1)
+    } else {
+        geometric_ns(9, 14, 2)
+    };
     let trials = if opts.full { 10 } else { 5 };
     let bs: &[u64] = &[64, 512, 4096];
     let algos = [Algo::Cluster2, Algo::AvinElsasser, Algo::Karp, Algo::Push];

@@ -50,8 +50,11 @@ fn main() {
         &["n", "loglog n", "rounds (mean of 5 seeds)"],
     );
     // The knowledge matrix closure is ~O(n^3/64) when dense — keep n modest.
-    let kns: Vec<usize> =
-        if opts.full { vec![1 << 6, 1 << 8, 1 << 10, 1 << 12] } else { vec![1 << 6, 1 << 8, 1 << 10] };
+    let kns: Vec<usize> = if opts.full {
+        vec![1 << 6, 1 << 8, 1 << 10, 1 << 12]
+    } else {
+        vec![1 << 6, 1 << 8, 1 << 10]
+    };
     for &n in &kns {
         let mean: f64 = (0..5)
             .map(|s| f64::from(rounds_to_complete(n, s, 30).expect("completes")))

@@ -10,8 +10,11 @@ use gossip_harness::{run_trials, Summary, Table};
 
 fn main() {
     let opts = parse_opts();
-    let ns: Vec<usize> =
-        if opts.full { vec![1 << 10, 1 << 12, 1 << 14, 1 << 16] } else { vec![1 << 10, 1 << 12, 1 << 14] };
+    let ns: Vec<usize> = if opts.full {
+        vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    } else {
+        vec![1 << 10, 1 << 12, 1 << 14]
+    };
     let trials = if opts.full { 10 } else { 5 };
 
     let mut tbl = Table::new(
@@ -71,7 +74,11 @@ fn main() {
                 if complete { "yes".into() } else { "NO".into() },
                 min_size.to_string(),
                 max_size.to_string(),
-                format!("[{:.2}, {:.2}]", min_size as f64 / working as f64, max_size as f64 / working as f64),
+                format!(
+                    "[{:.2}, {:.2}]",
+                    min_size as f64 / working as f64,
+                    max_size as f64 / working as f64
+                ),
             ]);
         }
     }

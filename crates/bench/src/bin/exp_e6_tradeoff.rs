@@ -21,7 +21,10 @@ fn main() {
     };
 
     let mut tbl = Table::new(
-        format!("E6: broadcast over a delta-clustering at n = 2^{}", n.trailing_zeros()),
+        format!(
+            "E6: broadcast over a delta-clustering at n = 2^{}",
+            n.trailing_zeros()
+        ),
         &[
             "delta",
             "lower bound log n/log delta'",

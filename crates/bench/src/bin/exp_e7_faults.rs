@@ -27,10 +27,7 @@ fn main() {
         ),
         &cols,
     );
-    let mut rounds_tbl = Table::new(
-        "E7b: rounds under failures (guarantees preserved)",
-        &cols,
-    );
+    let mut rounds_tbl = Table::new("E7b: rounds under failures (guarantees preserved)", &cols);
 
     for algo in algos {
         let mut row = vec![algo.name().to_string()];
@@ -67,7 +64,12 @@ fn run_with_failures(algo: Algo, n: usize, f: usize, seed: u64) -> gossip_core::
     common.seed = seed;
     common.failures = FailurePlan::random(n, f, phonecall::derive_seed(seed, 0xF));
     // Never fail the source (the task assumes a surviving source).
-    if common.failures.failed().iter().any(|i| i.0 == common.source) {
+    if common
+        .failures
+        .failed()
+        .iter()
+        .any(|i| i.0 == common.source)
+    {
         common.source = (0..n as u32)
             .find(|i| !common.failures.failed().iter().any(|x| x.0 == *i))
             .expect("not all nodes failed");

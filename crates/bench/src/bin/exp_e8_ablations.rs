@@ -24,11 +24,19 @@ fn main() {
     let trials = if opts.full { 10 } else { 5 };
 
     // --- A: squaring vs doubling -------------------------------------
-    let ns: Vec<usize> =
-        if opts.full { vec![1 << 8, 1 << 10, 1 << 12, 1 << 14] } else { vec![1 << 8, 1 << 10, 1 << 12] };
+    let ns: Vec<usize> = if opts.full {
+        vec![1 << 8, 1 << 10, 1 << 12, 1 << 14]
+    } else {
+        vec![1 << 8, 1 << 10, 1 << 12]
+    };
     let mut a = Table::new(
         "E8-A: merge all singletons into one cluster — squaring vs doubling (iterations used)",
-        &["n", "squaring (1/s activation)", "doubling (1/2 activation)", "speedup"],
+        &[
+            "n",
+            "squaring (1/s activation)",
+            "doubling (1/2 activation)",
+            "speedup",
+        ],
     );
     for &n in &ns {
         let sq = run_trials(0xE8A, &format!("sq{n}"), trials, |seed| {
@@ -50,7 +58,14 @@ fn main() {
     // --- B: thin backbone on/off -------------------------------------
     let mut b = Table::new(
         "E8-B: grow phase with and without the stall/resize control (msgs/node)",
-        &["n", "capped backbone (paper)", "uncapped", "blow-up", "clustered frac capped", "uncapped"],
+        &[
+            "n",
+            "capped backbone (paper)",
+            "uncapped",
+            "blow-up",
+            "clustered frac capped",
+            "uncapped",
+        ],
     );
     for &n in &ns {
         let mut frac_c = 0.0;
@@ -80,7 +95,11 @@ fn main() {
     // --- C: one vs two recruit pushes per squaring iteration ----------
     let mut c = Table::new(
         "E8-C: clusters left behind after one squaring iteration (n = 2^12)",
-        &["recruit pushes", "clusters remaining", "unmerged stragglers"],
+        &[
+            "recruit pushes",
+            "clusters remaining",
+            "unmerged stragglers",
+        ],
     );
     for reps in [1u32, 2] {
         let mut stragglers = 0.0;
@@ -116,9 +135,15 @@ fn grow_only(n: usize, seed: u64, capped: bool) -> (f64, f64) {
     let l = gossip_core::config::log2n(n);
     let p = (1.0 / (cfg.c_sample * l * l)).max((16.0 / n as f64).min(0.5));
     sample_singletons(&mut sim, p);
-    let cap = if capped { gossip_core::cluster2::size_cap(n, &cfg) } else { u64::MAX / 4 };
+    let cap = if capped {
+        gossip_core::cluster2::size_cap(n, &cfg)
+    } else {
+        u64::MAX / 4
+    };
     let stall = 2.0 - 1.0 / l;
-    let budget = (gossip_core::cluster2::size_cap(n, &cfg) as f64).log2().ceil() as u32
+    let budget = (gossip_core::cluster2::size_cap(n, &cfg) as f64)
+        .log2()
+        .ceil() as u32
         + cfg.grow_slack
         + 2;
     for _ in 0..budget {

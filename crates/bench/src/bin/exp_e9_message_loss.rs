@@ -21,16 +21,28 @@ fn main() {
     let n: usize = if opts.full { 1 << 13 } else { 1 << 11 };
     let trials = if opts.full { 12 } else { 6 };
     let losses = [0.0f64, 0.01, 0.05, 0.1, 0.2];
-    let algos = [Algo::Cluster2, Algo::Cluster1, Algo::Karp, Algo::PushPull, Algo::Push];
+    let algos = [
+        Algo::Cluster2,
+        Algo::Cluster1,
+        Algo::Karp,
+        Algo::PushPull,
+        Algo::Push,
+    ];
 
     let mut header: Vec<String> = vec!["algorithm".into()];
     header.extend(losses.iter().map(|l| format!("loss={l}")));
     let cols: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut cov_tbl = Table::new(
-        format!("E9: informed fraction of nodes under message loss (n = 2^{})", n.trailing_zeros()),
+        format!(
+            "E9: informed fraction of nodes under message loss (n = 2^{})",
+            n.trailing_zeros()
+        ),
         &cols,
     );
-    let mut round_tbl = Table::new("E9b: rounds used (observer-stopped baselines stretch)", &cols);
+    let mut round_tbl = Table::new(
+        "E9b: rounds used (observer-stopped baselines stretch)",
+        &cols,
+    );
 
     for algo in algos {
         let mut row = vec![algo.name().to_string()];

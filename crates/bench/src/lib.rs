@@ -151,7 +151,13 @@ mod tests {
     fn every_algorithm_succeeds_at_small_n() {
         for algo in Algo::all() {
             let r = algo.run(512, 1);
-            assert!(r.success, "{} failed: {}/{}", algo.name(), r.informed, r.alive);
+            assert!(
+                r.success,
+                "{} failed: {}/{}",
+                algo.name(),
+                r.informed,
+                r.alive
+            );
         }
     }
 

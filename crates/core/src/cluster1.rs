@@ -24,7 +24,7 @@
 use crate::config::{log2n, loglog2n, Cluster1Config};
 use crate::primitives::{
     activate, dissolve, grow_push_round, merge_all, merge_iteration, resize, sample_singletons,
-    share_rumor, unclustered_pull_round, MergeOpts, MergeRule, Who,
+    seed_informed_leaders, share_rumor, unclustered_pull_round, MergeOpts, MergeRule, Who,
 };
 use crate::report::RunReport;
 use crate::sim::ClusterSim;
@@ -85,6 +85,9 @@ pub fn grow_initial_clusters(sim: &mut ClusterSim, cfg: &Cluster1Config) {
     // when n is below ~C·log n.
     let p = (1.0 / (cfg.c_sample * l)).max((4.0 / n as f64).min(0.5));
     sample_singletons(sim, p);
+    // Degrade gracefully at toy sizes: the whp sampling can leave zero
+    // leaders, which would strand the rumor at the source forever.
+    seed_informed_leaders(sim);
     let budget = (cfg.c_sample * l).log2().ceil() as u32 + cfg.grow_slack;
     for _ in 0..budget {
         grow_push_round(sim, Who::AllClustered);
@@ -99,6 +102,10 @@ pub fn square_clusters(sim: &mut ClusterSim, cfg: &Cluster1Config) {
     let mut s = (cfg.c_min * l).round().max(2.0);
     let s_target = (n as f64 / l).sqrt();
     dissolve(sim, s as u64, Who::AllClustered);
+    // At toy sizes the dissolve can erase *every* cluster (all below the
+    // runt threshold), which would strand the rumor; the informed node
+    // re-elects itself so at least one cluster always survives.
+    seed_informed_leaders(sim);
     // Guard: with few clusters the 1/s activation would concentrate too
     // hard; MergeAllClusters absorbs small cluster counts directly.
     let clustered_est = 0.9 * n as f64;
@@ -162,7 +169,11 @@ mod tests {
     fn informs_all_nodes_small() {
         for seed in 0..3 {
             let r = run(256, &cfg(seed));
-            assert!(r.success, "seed {seed}: {}/{} informed", r.informed, r.alive);
+            assert!(
+                r.success,
+                "seed {seed}: {}/{} informed",
+                r.informed, r.alive
+            );
         }
     }
 
@@ -213,7 +224,10 @@ mod tests {
         let r_small = run(1 << 9, &cfg(5));
         let r_large = run(1 << 14, &cfg(5));
         let ratio = r_large.rounds as f64 / r_small.rounds.max(1) as f64;
-        assert!(ratio < 2.2, "rounds should grow like log log n, ratio {ratio}");
+        assert!(
+            ratio < 2.2,
+            "rounds should grow like log log n, ratio {ratio}"
+        );
         assert!(r_large.success);
     }
 }

@@ -28,8 +28,8 @@
 use crate::config::{log2n, loglog2n, Cluster2Config};
 use crate::primitives::{
     activate, bounded_recruit_iteration, consolidate, dissolve, grow_control_iteration, merge_all,
-    merge_iteration, resize, sample_singletons, share_rumor, unclustered_pull_round, MergeOpts,
-    MergeRule, Who,
+    merge_iteration, resize, sample_singletons, seed_informed_leaders, share_rumor,
+    unclustered_pull_round, MergeOpts, MergeRule, Who,
 };
 use crate::report::RunReport;
 use crate::sim::ClusterSim;
@@ -106,6 +106,9 @@ pub fn grow_initial_clusters(sim: &mut ClusterSim, cfg: &Cluster2Config) {
     // whp. Only changes behaviour for n below a few thousand.
     let p = (1.0 / (cfg.c_sample * l * l)).max((16.0 / n as f64).min(0.5));
     sample_singletons(sim, p);
+    // Degrade gracefully at toy sizes: the whp sampling can leave zero
+    // leaders, which would strand the rumor at the source forever.
+    seed_informed_leaders(sim);
     let cap = size_cap(n, cfg);
     let stall = 2.0 - 1.0 / l;
     let budget = (cap as f64).log2().ceil() as u32 + cfg.grow_slack + 2;
@@ -124,6 +127,9 @@ pub fn square_clusters(sim: &mut ClusterSim, cfg: &Cluster2Config) {
     let mut s = (size_cap(n, cfg) / 2).max(2) as f64;
     let s_target = (n as f64 * f_est).sqrt();
     dissolve(sim, s as u64, Who::ActiveOnly);
+    // As in Cluster1: a toy-size dissolve can erase every cluster, so the
+    // informed node re-elects itself to keep the backbone non-empty.
+    seed_informed_leaders(sim);
     // Re-activate everything still clustered: activation below re-samples.
     activate(sim, 1.0);
     let mut iterations = 0u32;
@@ -143,7 +149,9 @@ pub fn square_clusters(sim: &mut ClusterSim, cfg: &Cluster2Config) {
             );
         }
         crate::primitives::flatten_round(sim);
-        s = (2.0 * s).max(s * s * f_est / cfg.square_safety).min(s_target + 1.0);
+        s = (2.0 * s)
+            .max(s * s * f_est / cfg.square_safety)
+            .min(s_target + 1.0);
         iterations += 1;
     }
 }
@@ -155,7 +163,9 @@ pub fn merge_all_clusters(sim: &mut ClusterSim, cfg: &Cluster2Config) {
     let n = cfg.parameter_n(sim.n());
     let l = log2n(n);
     let f_est = 1.0 / l;
-    let s_est = ((n as f64 * f_est).sqrt()).min(f_est * n as f64 / 2.0).max(2.0);
+    let s_est = ((n as f64 * f_est).sqrt())
+        .min(f_est * n as f64 / 2.0)
+        .max(2.0);
     let count_est = (f_est * n as f64 / s_est).max(2.0);
     let absorb = (s_est * f_est + 2.0).max(2.0);
     let iterations = ((count_est.ln() / absorb.ln()).ceil() as u32 + 1).clamp(2, 12);
@@ -167,8 +177,7 @@ pub fn merge_all_clusters(sim: &mut ClusterSim, cfg: &Cluster2Config) {
 /// nodes; `⌈log₂ log₂ n⌉`-style budget, `O(n)` messages total.
 pub fn bounded_cluster_push(sim: &mut ClusterSim, cfg: &Cluster2Config) {
     activate(sim, 1.0);
-    let budget =
-        log2n(cfg.parameter_n(sim.n())).log2().ceil() as u32 + cfg.bounded_push_slack;
+    let budget = log2n(cfg.parameter_n(sim.n())).log2().ceil() as u32 + cfg.bounded_push_slack;
     for _ in 0..budget {
         bounded_recruit_iteration(sim, cfg.bounded_push_stall);
     }
@@ -199,7 +208,11 @@ mod tests {
     fn informs_all_nodes_small() {
         for seed in 0..3 {
             let r = run(512, &cfg(seed));
-            assert!(r.success, "seed {seed}: {}/{} informed", r.informed, r.alive);
+            assert!(
+                r.success,
+                "seed {seed}: {}/{} informed",
+                r.informed, r.alive
+            );
         }
     }
 

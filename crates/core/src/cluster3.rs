@@ -78,7 +78,10 @@ pub fn build(n: usize, delta: usize, cfg: &Cluster3Config) -> (ClusterSim, Delta
 ///
 /// Panics if `delta < 8`.
 pub fn run_on(sim: &mut ClusterSim, delta: usize, cfg: &Cluster3Config) -> DeltaClusteringReport {
-    assert!(delta >= 8, "delta-clusterings need delta >= 8 (paper: log^w(1) n)");
+    assert!(
+        delta >= 8,
+        "delta-clusterings need delta >= 8 (paper: log^w(1) n)"
+    );
     let n = sim.n();
     let l = log2n(n);
     let working = ((delta as f64 / cfg.c_headroom).floor() as u64).max(2);
@@ -181,7 +184,9 @@ fn square_to(sim: &mut ClusterSim, c2: &crate::config::Cluster2Config, s_target:
             );
         }
         flatten_round(sim);
-        s = (2.0 * s).max(s * s * f_est / c2.square_safety).min(s_target + 1.0);
+        s = (2.0 * s)
+            .max(s * s * f_est / c2.square_safety)
+            .min(s_target + 1.0);
         iterations += 1;
     }
 }
@@ -241,7 +246,11 @@ mod tests {
     #[test]
     fn builds_complete_clustering() {
         let (sim, report) = build(1 << 11, 64, &cfg(1));
-        assert!(report.complete, "unclustered: {}", report.clustering.unclustered);
+        assert!(
+            report.complete,
+            "unclustered: {}",
+            report.clustering.unclustered
+        );
         check_clustering(&sim).expect("well-formed");
     }
 
@@ -271,7 +280,10 @@ mod tests {
         let r_small = build(1 << 9, 32, &cfg(4)).1;
         let r_large = build(1 << 14, 32, &cfg(4)).1;
         let ratio = r_large.rounds as f64 / r_small.rounds.max(1) as f64;
-        assert!(ratio < 2.2, "Δ-clustering rounds must grow slowly, ratio {ratio}");
+        assert!(
+            ratio < 2.2,
+            "Δ-clustering rounds must grow slowly, ratio {ratio}"
+        );
     }
 
     #[test]

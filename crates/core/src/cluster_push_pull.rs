@@ -80,7 +80,10 @@ fn newly_informed_push_round(sim: &mut ClusterSim, epoch: u32) {
         |ctx, _rng| {
             let s = ctx.state;
             if s.informed && s.informed_at == Some(epoch) {
-                Action::Push { to: Target::Random, msg: Msg::new(MsgKind::Rumor, id_bits, rumor_bits) }
+                Action::Push {
+                    to: Target::Random,
+                    msg: Msg::new(MsgKind::Rumor, id_bits, rumor_bits),
+                }
             } else {
                 Action::Idle
             }
@@ -124,8 +127,11 @@ fn uninformed_pull_round(sim: &mut ClusterSim, epoch: u32) {
     let id_bits = sim.id_bits;
     let rumor_bits = sim.rumor_bits;
     for s in sim.net.states_mut() {
-        s.response =
-            if s.informed { Some(Msg::new(MsgKind::Rumor, id_bits, rumor_bits)) } else { None };
+        s.response = if s.informed {
+            Some(Msg::new(MsgKind::Rumor, id_bits, rumor_bits))
+        } else {
+            None
+        };
     }
     sim.net.round(
         |ctx, _rng| {
@@ -166,7 +172,11 @@ mod tests {
     fn broadcast_succeeds() {
         for seed in 0..3 {
             let r = run(1 << 10, 64, &cfg(seed));
-            assert!(r.success, "seed {seed}: {}/{} informed", r.informed, r.alive);
+            assert!(
+                r.success,
+                "seed {seed}: {}/{} informed",
+                r.informed, r.alive
+            );
         }
     }
 
@@ -175,7 +185,11 @@ mod tests {
         let delta = 64;
         let r = run(1 << 11, delta, &cfg(1));
         assert!(r.success);
-        assert!(r.max_fan_in <= delta as u64, "fan-in {} > {delta}", r.max_fan_in);
+        assert!(
+            r.max_fan_in <= delta as u64,
+            "fan-in {} > {delta}",
+            r.max_fan_in
+        );
     }
 
     #[test]
@@ -186,7 +200,11 @@ mod tests {
         let large = run(n, 256, &cfg(2));
         assert!(small.success && large.success);
         let loop_rounds = |r: &RunReport| {
-            r.phases.iter().find(|p| p.name == "PushPullLoop").map(|p| p.rounds).unwrap_or(0)
+            r.phases
+                .iter()
+                .find(|p| p.name == "PushPullLoop")
+                .map(|p| p.rounds)
+                .unwrap_or(0)
         };
         assert!(
             loop_rounds(&large) < loop_rounds(&small),

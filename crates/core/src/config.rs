@@ -220,10 +220,16 @@ mod tests {
         let c1 = Cluster1Config::default();
         assert!(c1.c_min < c1.c_sample, "the paper requires C' << C");
         let c2 = Cluster2Config::default();
-        assert!((c2.c_sample - c2.c_cap).abs() < f64::EPSILON, "plateau calibration");
+        assert!(
+            (c2.c_sample - c2.c_cap).abs() < f64::EPSILON,
+            "plateau calibration"
+        );
         assert!(c2.bounded_push_stall > 1.0);
         let c3 = Cluster3Config::default();
-        assert!(c3.c_headroom >= 4.0, "transient doubling must stay under delta");
+        assert!(
+            c3.c_headroom >= 4.0,
+            "transient doubling must stay under delta"
+        );
     }
 
     #[test]

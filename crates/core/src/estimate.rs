@@ -113,7 +113,9 @@ pub fn broadcast_success_test(sim: &mut ClusterSim) -> SuccessTest {
     sim.net.round(
         |ctx, _rng| {
             if ctx.state.is_follower() {
-                Action::<Msg>::Pull { to: Target::Direct(ctx.state.leader().expect("has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(ctx.state.leader().expect("has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -143,7 +145,10 @@ pub fn broadcast_success_test(sim: &mut ClusterSim) -> SuccessTest {
         s.inbox.clear();
         s.response = None;
     }
-    SuccessTest { verdict, rounds: sim.net.metrics().rounds - r0 }
+    SuccessTest {
+        verdict,
+        rounds: sim.net.metrics().rounds - r0,
+    }
 }
 
 /// Report of a guess-test-and-double run.
@@ -188,7 +193,12 @@ pub fn run_unknown_n(n: usize, cfg: &Cluster2Config) -> UnknownNReport {
         // protocol restarts with a squared guess on failure. `guess ≥ n`
         // always passes whp, so termination is certain.
         if test.verdict && run.informed == run.alive {
-            return UnknownNReport { final_run: run, guesses, total_rounds, total_messages };
+            return UnknownNReport {
+                final_run: run,
+                guesses,
+                total_rounds,
+                total_messages,
+            };
         }
         guess = guess.saturating_mul(guess).min(u32::MAX as usize);
         attempt += 1;
@@ -238,7 +248,10 @@ mod tests {
         let r = run_unknown_n(1 << 10, &cfg);
         assert!(r.final_run.success);
         assert!(!r.guesses.is_empty());
-        assert!(*r.guesses.last().unwrap() <= (1usize << 10).pow(2), "guess stops near n");
+        assert!(
+            *r.guesses.last().unwrap() <= (1usize << 10).pow(2),
+            "guess stops near n"
+        );
     }
 
     #[test]

@@ -130,15 +130,28 @@ mod tests {
 
     #[test]
     fn vector_messages_scale_with_length() {
-        let ids = vec![NodeId::from_raw(1), NodeId::from_raw(2), NodeId::from_raw(3)];
+        let ids = vec![
+            NodeId::from_raw(1),
+            NodeId::from_raw(2),
+            NodeId::from_raw(3),
+        ];
         assert_eq!(bits(MsgKind::Candidates(ids.clone())), 16 + 3 * ID);
-        assert_eq!(bits(MsgKind::Leaders { ids, piece_size: 5 }), 16 + 3 * ID + ID);
+        assert_eq!(
+            bits(MsgKind::Leaders { ids, piece_size: 5 }),
+            16 + 3 * ID + ID
+        );
     }
 
     #[test]
     fn ad_messages_cost_two_ids_each() {
         let id = NodeId::from_raw(1);
-        assert_eq!(bits(MsgKind::ClusterAd { leader: id, size: 9 }), 2 * ID);
+        assert_eq!(
+            bits(MsgKind::ClusterAd {
+                leader: id,
+                size: 9
+            }),
+            2 * ID
+        );
         assert_eq!(bits(MsgKind::Ads(vec![(id, 1), (id, 2)])), 16 + 4 * ID);
     }
 

@@ -35,6 +35,29 @@ pub fn sample_singletons(sim: &mut ClusterSim, p: f64) {
     }
 }
 
+/// Deterministic fallback seeding: every alive **informed** node that is
+/// still unclustered elects itself leader of a singleton cluster.
+///
+/// At algorithm start only the rumor source(s) are informed, so this makes
+/// the source a leader. The decision is node-local (a node knows whether it
+/// holds the rumor), consumes no randomness and no rounds, and guarantees
+/// the backbone is non-empty even at toy sizes where the whp sampling of
+/// [`sample_singletons`] can come up empty — without which the rumor could
+/// never leave the source (the clustering phases would all be vacuous).
+pub fn seed_informed_leaders(sim: &mut ClusterSim) {
+    let n = sim.n();
+    for i in 0..n {
+        if !sim.net.is_alive(NodeIdx(i as u32)) {
+            continue;
+        }
+        let s = &mut sim.net.states_mut()[i];
+        if s.informed && !s.is_clustered() {
+            s.become_singleton_leader();
+            s.active = true;
+        }
+    }
+}
+
 /// `ClusterActivate(p)`: every cluster is independently activated with
 /// probability `p`, by followers pulling the outcome of a `p`-biased coin
 /// flipped by their leader. One round (plus the leader's local flip).
@@ -71,7 +94,9 @@ pub fn activate(sim: &mut ClusterSim, p: f64) {
     sim.net.round(
         |ctx, _rng| {
             if ctx.state.is_follower() {
-                Action::<Msg>::Pull { to: Target::Direct(ctx.state.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(ctx.state.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -113,10 +138,17 @@ mod tests {
         sample_singletons(&mut s, 0.5);
         let rounds_before = s.net.metrics().rounds;
         activate(&mut s, 1.0);
-        assert!(s.alive_states().filter(|x| x.is_clustered()).all(|x| x.active));
+        assert!(s
+            .alive_states()
+            .filter(|x| x.is_clustered())
+            .all(|x| x.active));
         activate(&mut s, 0.0);
         assert!(s.alive_states().all(|x| !x.active));
-        assert_eq!(s.net.metrics().rounds, rounds_before, "deterministic p costs no rounds");
+        assert_eq!(
+            s.net.metrics().rounds,
+            rounds_before,
+            "deterministic p costs no rounds"
+        );
     }
 
     /// Builds one big cluster: node 0 leads, everyone else follows.

@@ -49,7 +49,10 @@ pub fn consolidate(sim: &mut ClusterSim) {
         s.ads.clear();
         s.response = if s.is_clustered() {
             Some(Msg::new(
-                MsgKind::ClusterAd { leader: s.leader().expect("clustered"), size: s.size },
+                MsgKind::ClusterAd {
+                    leader: s.leader().expect("clustered"),
+                    size: s.size,
+                },
                 id_bits,
                 rumor_bits,
             ))
@@ -108,9 +111,14 @@ pub fn consolidate(sim: &mut ClusterSim) {
             continue;
         }
         let own = (s.id, s.size);
-        let best = s.ads.iter().copied().filter(|c| c.0 != s.id).max_by(|a, b| {
-            a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)) // size asc, id desc
-        });
+        let best = s
+            .ads
+            .iter()
+            .copied()
+            .filter(|c| c.0 != s.id)
+            .max_by(|a, b| {
+                a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)) // size asc, id desc
+            });
         let mut verdict = s.id;
         if let Some(b) = best {
             if 2 * s.size <= n && beats(b, own) {
@@ -119,7 +127,11 @@ pub fn consolidate(sim: &mut ClusterSim) {
                 s.needs_flatten = true;
             }
         }
-        s.response = Some(Msg::new(MsgKind::FollowVal(Some(verdict)), id_bits, rumor_bits));
+        s.response = Some(Msg::new(
+            MsgKind::FollowVal(Some(verdict)),
+            id_bits,
+            rumor_bits,
+        ));
         s.ads.clear();
     }
     sim.net.round(
@@ -127,7 +139,9 @@ pub fn consolidate(sim: &mut ClusterSim) {
             let s = ctx.state;
             // Only minority-cluster followers need the verdict.
             if s.is_follower() && 2 * s.size <= n {
-                Action::<Msg>::Pull { to: Target::Direct(s.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(s.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -149,13 +163,19 @@ pub fn consolidate(sim: &mut ClusterSim) {
     // Round 6: flatten, restricted to pointers that actually moved (chains
     // arise when the merge target itself merged in the same sweep).
     for s in sim.net.states_mut() {
-        s.response = Some(Msg::new(MsgKind::FollowVal(s.follow.leader()), id_bits, rumor_bits));
+        s.response = Some(Msg::new(
+            MsgKind::FollowVal(s.follow.leader()),
+            id_bits,
+            rumor_bits,
+        ));
     }
     sim.net.round(
         |ctx, _rng| {
             let s = ctx.state;
             if s.is_follower() && s.needs_flatten {
-                Action::<Msg>::Pull { to: Target::Direct(s.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(s.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -217,7 +237,11 @@ mod tests {
         // members never initiated consolidation pulls. Total initiated by
         // majority: 99 collect pushes + 99 size pulls = 198 requests; the
         // minority adds its own. Just sanity-check the order of magnitude.
-        assert!(s.net.metrics().messages < 600, "messages: {}", s.net.metrics().messages);
+        assert!(
+            s.net.metrics().messages < 600,
+            "messages: {}",
+            s.net.metrics().messages
+        );
     }
 
     #[test]
@@ -238,6 +262,10 @@ mod tests {
         consolidate(&mut s);
         consolidate(&mut s);
         check_clustering(&s).expect("no cycles / dangling pointers");
-        assert_eq!(s.clustering_stats().clusters, 1, "tie resolved to one cluster");
+        assert_eq!(
+            s.clustering_stats().clusters,
+            1,
+            "tie resolved to one cluster"
+        );
     }
 }

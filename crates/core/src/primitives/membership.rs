@@ -79,13 +79,22 @@ pub fn size_round(sim: &mut ClusterSim, who: Who, control: Option<GrowControl>) 
         s.prev_size = size;
         s.size = size;
         s.active = stay_active;
-        s.response = Some(Msg::new(MsgKind::SizeReport { size, active: stay_active }, id_bits, rumor_bits));
+        s.response = Some(Msg::new(
+            MsgKind::SizeReport {
+                size,
+                active: stay_active,
+            },
+            id_bits,
+            rumor_bits,
+        ));
     }
     sim.net.round(
         |ctx, _rng| {
             let s = ctx.state;
             if s.is_follower() && who.selects(true, s.active) {
-                Action::<Msg>::Pull { to: Target::Direct(s.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(s.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -154,7 +163,10 @@ mod tests {
         let d = size_round(
             &mut s,
             Who::ActiveOnly,
-            Some(GrowControl { cap: 5, stall_factor: 2.0 }),
+            Some(GrowControl {
+                cap: 5,
+                stall_factor: 2.0,
+            }),
         );
         assert_eq!(d, 1);
         for i in 0..10 {
@@ -172,7 +184,10 @@ mod tests {
         let d = size_round(
             &mut s,
             Who::ActiveOnly,
-            Some(GrowControl { cap: 100, stall_factor: 2.0 }),
+            Some(GrowControl {
+                cap: 100,
+                stall_factor: 2.0,
+            }),
         );
         assert_eq!(d, 0, "below the cap the stall rule never fires");
         assert!(s.net.states()[0].active);
@@ -187,6 +202,10 @@ mod tests {
         let msgs = s.net.metrics().messages;
         collect_members(&mut s, Who::ActiveOnly);
         size_round(&mut s, Who::ActiveOnly, None);
-        assert_eq!(s.net.metrics().messages, msgs, "inactive clusters send nothing");
+        assert_eq!(
+            s.net.metrics().messages,
+            msgs,
+            "inactive clusters send nothing"
+        );
     }
 }

@@ -65,7 +65,10 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
             let s = ctx.state;
             if opts.pushers.selects(s.is_clustered(), s.active) {
                 let cid = s.leader().expect("clustered node has leader");
-                Action::Push { to: Target::Random, msg: Msg::new(MsgKind::Recruit(cid), id_bits, rumor_bits) }
+                Action::Push {
+                    to: Target::Random,
+                    msg: Msg::new(MsgKind::Recruit(cid), id_bits, rumor_bits),
+                }
             } else {
                 Action::Idle
             }
@@ -146,7 +149,11 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
             }
         }
         let verdict = target.unwrap_or(s.id);
-        s.response = Some(Msg::new(MsgKind::FollowVal(Some(verdict)), id_bits, rumor_bits));
+        s.response = Some(Msg::new(
+            MsgKind::FollowVal(Some(verdict)),
+            id_bits,
+            rumor_bits,
+        ));
         if target.is_some() {
             s.follow = Follow::Of(verdict);
             if opts.mark_merged_active {
@@ -159,7 +166,9 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
     sim.net.round(
         |ctx, _rng| {
             if ctx.state.is_follower() {
-                Action::<Msg>::Pull { to: Target::Direct(ctx.state.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(ctx.state.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -280,8 +289,11 @@ mod tests {
         for i in 0..64 {
             s.net.states_mut()[i].active = i % 2 == 0;
         }
-        let active_leaders: Vec<_> =
-            s.alive_states().filter(|x| x.is_leader() && x.active).map(|x| x.id).collect();
+        let active_leaders: Vec<_> = s
+            .alive_states()
+            .filter(|x| x.is_leader() && x.active)
+            .map(|x| x.id)
+            .collect();
         merge_iteration(
             &mut s,
             MergeOpts {

@@ -31,11 +31,13 @@ mod recruit;
 mod reshape;
 mod share;
 
-pub use activation::{activate, sample_singletons};
+pub use activation::{activate, sample_singletons, seed_informed_leaders};
 pub use consolidate::consolidate;
 pub use membership::{collect_members, size_round, GrowControl};
 pub use merge::{merge_all, merge_iteration, MergeOpts, MergeRule};
-pub use recruit::{bounded_recruit_iteration, grow_control_iteration, grow_push_round, BoundedRecruitOutcome};
+pub use recruit::{
+    bounded_recruit_iteration, grow_control_iteration, grow_push_round, BoundedRecruitOutcome,
+};
 pub use reshape::{dissolve, resize};
 pub use share::{flatten_round, share_rumor, unclustered_pull_round};
 

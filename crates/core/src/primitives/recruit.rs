@@ -21,7 +21,10 @@ pub fn grow_push_round(sim: &mut ClusterSim, pushers: Who) -> usize {
             let s = ctx.state;
             if pushers.selects(s.is_clustered(), s.active) {
                 let cid = s.leader().expect("clustered node has leader");
-                Action::Push { to: Target::Random, msg: Msg::new(MsgKind::Recruit(cid), id_bits, rumor_bits) }
+                Action::Push {
+                    to: Target::Random,
+                    msg: Msg::new(MsgKind::Recruit(cid), id_bits, rumor_bits),
+                }
             } else {
                 Action::Idle
             }
@@ -88,8 +91,14 @@ pub fn grow_control_iteration(
             s.active = false;
             s.size = size;
             s.prev_size = size;
-            s.response =
-                Some(Msg::new(MsgKind::SizeReport { size, active: false }, id_bits, rumor_bits));
+            s.response = Some(Msg::new(
+                MsgKind::SizeReport {
+                    size,
+                    active: false,
+                },
+                id_bits,
+                rumor_bits,
+            ));
         } else if size >= 2 * cap {
             // Oversized but still growing: split into ⌊size/cap⌋ groups
             // (inline ClusterResize(cap); same grouping rule as
@@ -108,7 +117,10 @@ pub fn grow_control_iteration(
             }
             let piece = size / k as u64;
             s.response = Some(Msg::new(
-                MsgKind::Leaders { ids: ids.clone(), piece_size: piece },
+                MsgKind::Leaders {
+                    ids: ids.clone(),
+                    piece_size: piece,
+                },
                 id_bits,
                 rumor_bits,
             ));
@@ -120,15 +132,20 @@ pub fn grow_control_iteration(
         } else {
             s.size = size;
             s.prev_size = size;
-            s.response =
-                Some(Msg::new(MsgKind::SizeReport { size, active: true }, id_bits, rumor_bits));
+            s.response = Some(Msg::new(
+                MsgKind::SizeReport { size, active: true },
+                id_bits,
+                rumor_bits,
+            ));
         }
     }
     sim.net.round(
         |ctx, _rng| {
             let s = ctx.state;
             if s.is_follower() && s.active {
-                Action::<Msg>::Pull { to: Target::Direct(s.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(s.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -155,7 +172,10 @@ pub fn grow_control_iteration(
         },
     );
     super::clear_responses(sim);
-    BoundedRecruitOutcome { joined, deactivated }
+    BoundedRecruitOutcome {
+        joined,
+        deactivated,
+    }
 }
 
 /// One iteration of `BoundedClusterPush` (Algorithm 2 lines 28–35;
@@ -169,9 +189,15 @@ pub fn bounded_recruit_iteration(sim: &mut ClusterSim, stall_factor: f64) -> Bou
     let deactivated = size_round(
         sim,
         Who::ActiveOnly,
-        Some(GrowControl { cap: 2, stall_factor }),
+        Some(GrowControl {
+            cap: 2,
+            stall_factor,
+        }),
     );
-    BoundedRecruitOutcome { joined, deactivated }
+    BoundedRecruitOutcome {
+        joined,
+        deactivated,
+    }
 }
 
 #[cfg(test)]
@@ -195,7 +221,10 @@ mod tests {
         let c0 = s.clustered_count();
         grow_push_round(&mut s, Who::AllClustered);
         let c1 = s.clustered_count();
-        assert!(c1 as f64 > 1.7 * c0 as f64, "{c0} -> {c1} should nearly double");
+        assert!(
+            c1 as f64 > 1.7 * c0 as f64,
+            "{c0} -> {c1} should nearly double"
+        );
         check_clustering(&s).expect("well-formed");
     }
 
@@ -206,7 +235,11 @@ mod tests {
             grow_control_iteration(&mut s, 8, 1.05);
         }
         let stats = s.clustering_stats();
-        assert!(stats.max_size < 16, "resize keeps clusters under 2*cap, got {}", stats.max_size);
+        assert!(
+            stats.max_size < 16,
+            "resize keeps clusters under 2*cap, got {}",
+            stats.max_size
+        );
         check_clustering(&s).expect("well-formed");
     }
 
@@ -223,7 +256,10 @@ mod tests {
                 break;
             }
         }
-        assert!(frozen_at.is_some(), "all clusters must eventually deactivate");
+        assert!(
+            frozen_at.is_some(),
+            "all clusters must eventually deactivate"
+        );
         // Once frozen, pushes stop entirely.
         let msgs = s.net.metrics().messages;
         bounded_recruit_iteration(&mut s, 1.1);

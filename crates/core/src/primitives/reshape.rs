@@ -36,7 +36,9 @@ pub fn dissolve(sim: &mut ClusterSim, s: u64, who: Who) {
         |ctx, _rng| {
             let st = ctx.state;
             if st.is_follower() && who.selects(true, st.active) {
-                Action::<Msg>::Pull { to: Target::Direct(st.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(st.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -97,7 +99,10 @@ pub fn resize(sim: &mut ClusterSim, s: u64, who: Who) {
             (ids, size / k as u64)
         };
         st.response = Some(Msg::new(
-            MsgKind::Leaders { ids: ids.clone(), piece_size: piece },
+            MsgKind::Leaders {
+                ids: ids.clone(),
+                piece_size: piece,
+            },
             id_bits,
             rumor_bits,
         ));
@@ -111,7 +116,9 @@ pub fn resize(sim: &mut ClusterSim, s: u64, who: Who) {
         |ctx, _rng| {
             let st = ctx.state;
             if st.is_follower() && who.selects(true, st.active) {
-                Action::<Msg>::Pull { to: Target::Direct(st.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(st.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -174,8 +181,16 @@ mod tests {
         let stats = s.clustering_stats();
         assert_eq!(stats.clustered, 40, "no node lost");
         assert_eq!(stats.clusters, 5, "40/8 = 5 groups");
-        assert!(stats.max_size < 16, "all pieces below 2s, got {}", stats.max_size);
-        assert!(stats.min_size >= 8, "all pieces at least s, got {}", stats.min_size);
+        assert!(
+            stats.max_size < 16,
+            "all pieces below 2s, got {}",
+            stats.max_size
+        );
+        assert!(
+            stats.min_size >= 8,
+            "all pieces at least s, got {}",
+            stats.min_size
+        );
     }
 
     #[test]
@@ -206,6 +221,10 @@ mod tests {
             s.net.states_mut()[i].active = false;
         }
         resize(&mut s, 8, Who::ActiveOnly);
-        assert_eq!(s.clustering_stats().clusters, 1, "inactive cluster untouched");
+        assert_eq!(
+            s.clustering_stats().clusters,
+            1,
+            "inactive cluster untouched"
+        );
     }
 }

@@ -56,7 +56,9 @@ pub fn share_rumor(sim: &mut ClusterSim) {
         |ctx, _rng| {
             let s = ctx.state;
             if s.is_follower() && !s.informed {
-                Action::<Msg>::Pull { to: Target::Direct(s.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(s.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -81,12 +83,18 @@ pub fn flatten_round(sim: &mut ClusterSim) {
     let id_bits = sim.id_bits;
     let rumor_bits = sim.rumor_bits;
     for s in sim.net.states_mut() {
-        s.response = Some(Msg::new(MsgKind::FollowVal(s.follow.leader()), id_bits, rumor_bits));
+        s.response = Some(Msg::new(
+            MsgKind::FollowVal(s.follow.leader()),
+            id_bits,
+            rumor_bits,
+        ));
     }
     sim.net.round(
         |ctx, _rng| {
             if ctx.state.is_follower() {
-                Action::<Msg>::Pull { to: Target::Direct(ctx.state.leader().expect("follower has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(ctx.state.leader().expect("follower has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -115,7 +123,11 @@ pub fn unclustered_pull_round(sim: &mut ClusterSim) -> usize {
     let rumor_bits = sim.rumor_bits;
     for s in sim.net.states_mut() {
         s.response = if s.is_clustered() {
-            Some(Msg::new(MsgKind::FollowVal(s.leader()), id_bits, rumor_bits))
+            Some(Msg::new(
+                MsgKind::FollowVal(s.leader()),
+                id_bits,
+                rumor_bits,
+            ))
         } else {
             None
         };
@@ -171,7 +183,10 @@ mod tests {
             assert!(s.net.states()[i].informed, "member {i} informed");
         }
         for i in 20..32 {
-            assert!(!s.net.states()[i].informed, "non-member {i} stays uninformed");
+            assert!(
+                !s.net.states()[i].informed,
+                "non-member {i} stays uninformed"
+            );
         }
     }
 
@@ -220,7 +235,10 @@ mod tests {
         // hits the cluster.
         let mut s = cluster_of(64, 60);
         let joined = unclustered_pull_round(&mut s);
-        assert!(joined >= 1, "with 94% clustered, pulls succeed (joined {joined})");
+        assert!(
+            joined >= 1,
+            "with 94% clustered, pulls succeed (joined {joined})"
+        );
         let map = s.cluster_map();
         assert_eq!(map.len(), 1, "joiners follow the one leader directly");
     }

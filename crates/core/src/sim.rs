@@ -183,7 +183,11 @@ impl ClusterSim {
             unclustered: alive - clustered,
             min_size: sizes.iter().copied().min().unwrap_or(0),
             max_size: sizes.iter().copied().max().unwrap_or(0),
-            mean_size: if map.is_empty() { 0.0 } else { clustered as f64 / map.len() as f64 },
+            mean_size: if map.is_empty() {
+                0.0
+            } else {
+                clustered as f64 / map.len() as f64
+            },
         }
     }
 

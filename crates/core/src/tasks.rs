@@ -49,7 +49,10 @@ pub fn elected_leader(sim: &ClusterSim) -> Option<NodeId> {
 pub fn count_alive(sim: &mut ClusterSim) -> u64 {
     collect_members(sim, Who::AllClustered);
     size_round(sim, Who::AllClustered, None);
-    sim.alive_states().filter_map(|s| s.is_leader().then_some(s.size)).max().unwrap_or(0)
+    sim.alive_states()
+        .filter_map(|s| s.is_leader().then_some(s.size))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Associative combine operations for [`aggregate`].
@@ -142,7 +145,9 @@ pub fn aggregate(sim: &mut ClusterSim, values: &[u64], op: Combine) -> u64 {
     sim.net.round(
         |ctx, _rng| {
             if ctx.state.is_follower() {
-                Action::<Msg>::Pull { to: Target::Direct(ctx.state.leader().expect("has leader")) }
+                Action::<Msg>::Pull {
+                    to: Target::Direct(ctx.state.leader().expect("has leader")),
+                }
             } else {
                 Action::Idle
             }
@@ -207,7 +212,10 @@ mod tests {
     fn aggregates_compute_exactly() {
         let mut sim = spanning(32);
         let values: Vec<u64> = (0..32u64).map(|i| i * 3 + 1).collect();
-        assert_eq!(aggregate(&mut sim, &values, Combine::Sum), values.iter().sum::<u64>());
+        assert_eq!(
+            aggregate(&mut sim, &values, Combine::Sum),
+            values.iter().sum::<u64>()
+        );
         let mut sim = spanning(32);
         assert_eq!(aggregate(&mut sim, &values, Combine::Max), 94);
         let mut sim = spanning(32);
@@ -239,7 +247,10 @@ mod tests {
         cfg.common.seed = 3;
         let (mut sim, report) = build_spanning_cluster(512, &cfg);
         assert!(report.success);
-        assert!(elected_leader(&sim).is_some(), "cluster2 ends in one spanning cluster");
+        assert!(
+            elected_leader(&sim).is_some(),
+            "cluster2 ends in one spanning cluster"
+        );
         let n_measured = count_alive(&mut sim);
         assert_eq!(n_measured, 512);
         let sum = aggregate(&mut sim, &vec![5u64; 512], Combine::Sum);

@@ -88,16 +88,23 @@ pub fn check_clustering(sim: &ClusterSim) -> Result<(), Vec<Violation>> {
 ///
 /// Returns a human-readable description of the first failed property.
 pub fn check_delta_clustering(sim: &ClusterSim, lo: usize, hi: usize) -> Result<(), String> {
-    check_clustering(sim).map_err(|v| format!("{} clustering violations, first: {}", v.len(), v[0]))?;
+    check_clustering(sim)
+        .map_err(|v| format!("{} clustering violations, first: {}", v.len(), v[0]))?;
     let stats = sim.clustering_stats();
     if stats.unclustered > 0 {
         return Err(format!("{} nodes left unclustered", stats.unclustered));
     }
     if stats.min_size < lo {
-        return Err(format!("smallest cluster {} below lower bound {lo}", stats.min_size));
+        return Err(format!(
+            "smallest cluster {} below lower bound {lo}",
+            stats.min_size
+        ));
     }
     if stats.max_size > hi {
-        return Err(format!("largest cluster {} above upper bound {hi}", stats.max_size));
+        return Err(format!(
+            "largest cluster {} above upper bound {hi}",
+            stats.max_size
+        ));
     }
     Ok(())
 }
@@ -154,7 +161,11 @@ mod tests {
             sim.net.states_mut()[i].follow = Follow::Of(a);
         }
         assert!(check_delta_clustering(&sim, 2, 8).is_ok());
-        assert!(check_delta_clustering(&sim, 5, 8).unwrap_err().contains("below"));
-        assert!(check_delta_clustering(&sim, 1, 3).unwrap_err().contains("above"));
+        assert!(check_delta_clustering(&sim, 5, 8)
+            .unwrap_err()
+            .contains("below"));
+        assert!(check_delta_clustering(&sim, 1, 3)
+            .unwrap_err()
+            .contains("above"));
     }
 }

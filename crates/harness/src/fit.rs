@@ -95,15 +95,21 @@ pub fn fit_ratio(ns: &[f64], ys: &[f64], law: ScalingLaw) -> ScalingFit {
     let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
     let ss_res: f64 = fs.iter().zip(ys).map(|(f, y)| (y - c * f).powi(2)).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { f64::from(u8::from(ss_res == 0.0)) };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        f64::from(u8::from(ss_res == 0.0))
+    };
     ScalingFit { law, c, r2 }
 }
 
 /// Fits every candidate law and returns them sorted by descending `R²`.
 #[must_use]
 pub fn best_fits(ns: &[f64], ys: &[f64]) -> Vec<ScalingFit> {
-    let mut fits: Vec<ScalingFit> =
-        ScalingLaw::all().into_iter().map(|law| fit_ratio(ns, ys, law)).collect();
+    let mut fits: Vec<ScalingFit> = ScalingLaw::all()
+        .into_iter()
+        .map(|law| fit_ratio(ns, ys, law))
+        .collect();
     fits.sort_by(|a, b| b.r2.partial_cmp(&a.r2).expect("finite r2"));
     fits
 }

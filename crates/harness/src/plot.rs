@@ -33,12 +33,20 @@ impl AsciiPlot {
     /// Creates an empty chart.
     #[must_use]
     pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
-        AsciiPlot { title: title.into(), width: width.max(16), height: height.max(4), series: Vec::new() }
+        AsciiPlot {
+            title: title.into(),
+            width: width.max(16),
+            height: height.max(4),
+            series: Vec::new(),
+        }
     }
 
     /// Adds a series.
     pub fn add_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
-        self.series.push(Series { name: name.into(), points });
+        self.series.push(Series {
+            name: name.into(),
+            points,
+        });
     }
 
     /// Renders the chart. Empty charts render a placeholder line.
@@ -46,14 +54,27 @@ impl AsciiPlot {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
-        let pts: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         if pts.is_empty() {
             let _ = writeln!(out, "(no data)");
             return out;
         }
-        let x_lo = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min).max(1.0).log2();
-        let x_hi = pts.iter().map(|p| p.0).fold(0.0_f64, f64::max).max(2.0).log2();
+        let x_lo = pts
+            .iter()
+            .map(|p| p.0)
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0)
+            .log2();
+        let x_hi = pts
+            .iter()
+            .map(|p| p.0)
+            .fold(0.0_f64, f64::max)
+            .max(2.0)
+            .log2();
         let y_hi = pts.iter().map(|p| p.1).fold(0.0_f64, f64::max).max(1e-9);
         let y_lo = 0.0;
 
@@ -61,7 +82,11 @@ impl AsciiPlot {
         for (si, s) in self.series.iter().enumerate() {
             let glyph = GLYPHS[si % GLYPHS.len()];
             for &(x, y) in &s.points {
-                let xf = if x_hi > x_lo { (x.max(1.0).log2() - x_lo) / (x_hi - x_lo) } else { 0.5 };
+                let xf = if x_hi > x_lo {
+                    (x.max(1.0).log2() - x_lo) / (x_hi - x_lo)
+                } else {
+                    0.5
+                };
                 let yf = (y - y_lo) / (y_hi - y_lo);
                 let col = ((self.width - 1) as f64 * xf).round() as usize;
                 let row = ((self.height - 1) as f64 * (1.0 - yf.clamp(0.0, 1.0))).round() as usize;
@@ -97,8 +122,14 @@ mod tests {
 
     fn sample_plot() -> AsciiPlot {
         let mut p = AsciiPlot::new("demo", 40, 10);
-        p.add_series("log", (8..=16).map(|e| ((1u64 << e) as f64, e as f64)).collect());
-        p.add_series("const", (8..=16).map(|e| ((1u64 << e) as f64, 3.0)).collect());
+        p.add_series(
+            "log",
+            (8..=16).map(|e| ((1u64 << e) as f64, e as f64)).collect(),
+        );
+        p.add_series(
+            "const",
+            (8..=16).map(|e| ((1u64 << e) as f64, 3.0)).collect(),
+        );
         p
     }
 
@@ -114,7 +145,9 @@ mod tests {
 
     /// Grid rows are the lines containing the axis separator.
     fn grid_rows_with(out: &str, glyph: char) -> usize {
-        out.lines().filter(|l| l.contains(" |") && l.split(" |").nth(1).is_some_and(|g| g.contains(glyph))).count()
+        out.lines()
+            .filter(|l| l.contains(" |") && l.split(" |").nth(1).is_some_and(|g| g.contains(glyph)))
+            .count()
     }
 
     #[test]

@@ -11,8 +11,16 @@ use crate::sweep::trial_seeds;
 /// Trials run sequentially — runs are already deterministic per seed, and
 /// the experiment binaries parallelize across *processes* when needed.
 #[must_use]
-pub fn run_trials(master_seed: u64, label: &str, trials: u32, mut f: impl FnMut(u64) -> f64) -> Summary {
-    let samples: Vec<f64> = trial_seeds(master_seed, label, trials).into_iter().map(&mut f).collect();
+pub fn run_trials(
+    master_seed: u64,
+    label: &str,
+    trials: u32,
+    mut f: impl FnMut(u64) -> f64,
+) -> Summary {
+    let samples: Vec<f64> = trial_seeds(master_seed, label, trials)
+        .into_iter()
+        .map(&mut f)
+        .collect();
     Summary::from_samples(&samples)
 }
 

@@ -10,15 +10,22 @@ use phonecall::derive_seed;
 #[must_use]
 pub fn geometric_ns(lo_exp: u32, hi_exp: u32, step: u32) -> Vec<usize> {
     assert!(step >= 1, "step must be positive");
-    (lo_exp..=hi_exp).step_by(step as usize).map(|e| 1usize << e).collect()
+    (lo_exp..=hi_exp)
+        .step_by(step as usize)
+        .map(|e| 1usize << e)
+        .collect()
 }
 
 /// Derives `count` independent trial seeds from a master seed and an
 /// experiment label (so different experiments never share streams).
 #[must_use]
 pub fn trial_seeds(master: u64, label: &str, count: u32) -> Vec<u64> {
-    let label_hash = label.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
-    (0..count).map(|k| derive_seed(master ^ label_hash, u64::from(k))).collect()
+    let label_hash = label
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+    (0..count)
+        .map(|k| derive_seed(master ^ label_hash, u64::from(k)))
+        .collect()
 }
 
 #[cfg(test)]

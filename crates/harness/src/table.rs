@@ -56,14 +56,21 @@ impl Table {
         if !self.title.is_empty() {
             let _ = writeln!(out, "### {}\n", self.title);
         }
-        let header: Vec<String> =
-            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
         let _ = writeln!(out, "| {} |", header.join(" | "));
         let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
         let _ = writeln!(out, "| {} |", rule.join(" | "));
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
             let _ = writeln!(out, "| {} |", cells.join(" | "));
         }
         out
@@ -80,9 +87,21 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }

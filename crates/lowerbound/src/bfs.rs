@@ -45,7 +45,10 @@ pub fn eccentricity(g: &Graph, src: u32) -> Ecc {
     let mut farthest = src;
     for (v, &d) in dist.iter().enumerate() {
         if d == UNREACHABLE {
-            return Ecc { ecc: UNREACHABLE, farthest: v as u32 };
+            return Ecc {
+                ecc: UNREACHABLE,
+                farthest: v as u32,
+            };
         }
         if d > ecc {
             ecc = d;

@@ -185,7 +185,12 @@ mod tests {
             let g = sample_union_graph(300, 3, seed);
             if let Some(b) = bounds(&g, 3) {
                 let d = exact(&g).expect("connected since bounds returned Some");
-                assert!(b.lo <= d && d <= b.hi, "bounds [{}, {}] vs exact {d}", b.lo, b.hi);
+                assert!(
+                    b.lo <= d && d <= b.hi,
+                    "bounds [{}, {}] vs exact {d}",
+                    b.lo,
+                    b.hi
+                );
             }
         }
     }
@@ -197,7 +202,11 @@ mod tests {
             let d = exact(&g);
             for budget in [1u64, 2, 4, 8, 16, 32] {
                 let want = d.is_some_and(|d| u64::from(d) <= budget);
-                assert_eq!(diameter_at_most(&g, budget), want, "seed {seed} budget {budget}");
+                assert_eq!(
+                    diameter_at_most(&g, budget),
+                    want,
+                    "seed {seed} budget {budget}"
+                );
             }
         }
     }

@@ -15,7 +15,10 @@ impl Graph {
     /// An empty graph on `n` vertices.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], edges: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
     }
 
     /// Number of vertices.
@@ -116,7 +119,11 @@ mod tests {
     fn union_graph_has_expected_density() {
         let g = sample_union_graph(1000, 4, 1);
         // 4000 samples, minus collisions: between 3.5k and 4k edges.
-        assert!(g.edge_count() > 3500 && g.edge_count() <= 4000, "{}", g.edge_count());
+        assert!(
+            g.edge_count() > 3500 && g.edge_count() <= 4000,
+            "{}",
+            g.edge_count()
+        );
         let avg_deg = 2.0 * g.edge_count() as f64 / 1000.0;
         assert!((6.0..=8.5).contains(&avg_deg), "avg degree {avg_deg}");
     }

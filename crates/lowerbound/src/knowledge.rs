@@ -30,7 +30,11 @@ impl KnowledgeGraph {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "need at least one node");
         let words = n.div_ceil(64);
-        let mut g = KnowledgeGraph { n, words, bits: vec![0; n * words] };
+        let mut g = KnowledgeGraph {
+            n,
+            words,
+            bits: vec![0; n * words],
+        };
         for v in 0..n {
             g.set(v, v);
         }

@@ -36,7 +36,12 @@ pub fn trial(n: usize, t: u32, seed: u64) -> TrialVerdict {
     let budget = 1u64 << t.min(62);
     let possible = diameter_at_most(&g, budget);
     let diam_lo = bounds(&g, 2).map_or(u32::MAX, |b| b.lo);
-    TrialVerdict { n, t, possible, diam_lo }
+    TrialVerdict {
+        n,
+        t,
+        possible,
+        diam_lo,
+    }
 }
 
 /// Estimates `P[diam(∪ G_t) ≤ 2^T]` over `trials` independent draws.

@@ -72,7 +72,11 @@ mod tests {
     #[test]
     fn idle_is_not_a_communication() {
         assert!(!Action::<()>::Idle.is_communication());
-        assert!(Action::Push { to: Target::Random, msg: () }.is_communication());
+        assert!(Action::Push {
+            to: Target::Random,
+            msg: ()
+        }
+        .is_communication());
         assert!(Action::<()>::Pull { to: Target::Random }.is_communication());
     }
 }

@@ -29,7 +29,10 @@ impl fmt::Display for PhoneCallError {
                 write!(f, "invalid network size {n}: must be in 1..=u32::MAX")
             }
             PhoneCallError::FailureOutOfRange { idx, n } => {
-                write!(f, "failure plan names node {idx} but the network has {n} nodes")
+                write!(
+                    f,
+                    "failure plan names node {idx} but the network has {n} nodes"
+                )
             }
         }
     }

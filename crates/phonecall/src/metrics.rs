@@ -103,8 +103,20 @@ mod tests {
 
     #[test]
     fn absorb_sums_and_maxes() {
-        let mut a = Metrics { rounds: 2, messages: 10, bits: 100, max_fan_in: 3, ..Default::default() };
-        let b = Metrics { rounds: 1, messages: 5, bits: 50, max_fan_in: 7, ..Default::default() };
+        let mut a = Metrics {
+            rounds: 2,
+            messages: 10,
+            bits: 100,
+            max_fan_in: 3,
+            ..Default::default()
+        };
+        let b = Metrics {
+            rounds: 1,
+            messages: 5,
+            bits: 50,
+            max_fan_in: 7,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.rounds, 3);
         assert_eq!(a.messages, 15);
@@ -114,7 +126,12 @@ mod tests {
 
     #[test]
     fn per_node_averages() {
-        let m = Metrics { messages: 100, payload_messages: 40, bits: 1000, ..Default::default() };
+        let m = Metrics {
+            messages: 100,
+            payload_messages: 40,
+            bits: 1000,
+            ..Default::default()
+        };
         assert!((m.messages_per_node(50) - 2.0).abs() < 1e-12);
         assert!((m.payload_messages_per_node(50) - 0.8).abs() < 1e-12);
         assert!((m.bits_per_node(50) - 20.0).abs() < 1e-12);

@@ -265,7 +265,10 @@ impl<S> Network<S> {
         mut deliver: impl FnMut(&mut S, Delivery<M>),
     ) -> RoundStats {
         let n = self.len();
-        let mut stats = RoundStats { round: self.round, ..Default::default() };
+        let mut stats = RoundStats {
+            round: self.round,
+            ..Default::default()
+        };
         self.fan_in.iter_mut().for_each(|c| *c = 0);
 
         // Phase 1: collect and resolve actions.
@@ -275,7 +278,12 @@ impl<S> Network<S> {
                 continue;
             }
             let idx = NodeIdx(i as u32);
-            let ctx = NodeCtx { idx, id: self.ids.id_of(idx), state: &self.states[i], round: self.round };
+            let ctx = NodeCtx {
+                idx,
+                id: self.ids.id_of(idx),
+                state: &self.states[i],
+                round: self.round,
+            };
             let action = decide(ctx, &mut self.rng);
             let target = match &action {
                 Action::Idle => continue,
@@ -315,8 +323,11 @@ impl<S> Network<S> {
                 let d = dst.as_usize();
                 let lost = self.loss > 0.0
                     && (self.rng.gen_bool(self.loss) || self.rng.gen_bool(self.loss));
-                let resp =
-                    if self.alive[d] && !lost { respond(&self.states[d]) } else { None };
+                let resp = if self.alive[d] && !lost {
+                    respond(&self.states[d])
+                } else {
+                    None
+                };
                 responses.push(Some((*dst, resp)));
             } else {
                 responses.push(None);
@@ -336,13 +347,26 @@ impl<S> Network<S> {
                 self.fan_in[d] += 1;
                 let lost = self.loss > 0.0 && self.rng.gen_bool(self.loss);
                 if self.alive[d] && !lost {
-                    self.trace.record(Event { round: self.round, from: *src, to: *dst, kind: EventKind::Push });
+                    self.trace.record(Event {
+                        round: self.round,
+                        from: *src,
+                        to: *dst,
+                        kind: EventKind::Push,
+                    });
                     deliver(
                         &mut self.states[d],
-                        Delivery::Push { from: self.ids.id_of(*src), msg: msg.clone() },
+                        Delivery::Push {
+                            from: self.ids.id_of(*src),
+                            msg: msg.clone(),
+                        },
                     );
                 } else {
-                    self.trace.record(Event { round: self.round, from: *src, to: *dst, kind: EventKind::DroppedDead });
+                    self.trace.record(Event {
+                        round: self.round,
+                        from: *src,
+                        to: *dst,
+                        kind: EventKind::DroppedDead,
+                    });
                 }
             }
         }
@@ -356,7 +380,12 @@ impl<S> Network<S> {
                 stats.bits += self.header_bits;
                 self.metrics.pull_requests += 1;
                 self.fan_in[dst.as_usize()] += 1;
-                self.trace.record(Event { round: self.round, from: *src, to: *dst, kind: EventKind::PullRequest });
+                self.trace.record(Event {
+                    round: self.round,
+                    from: *src,
+                    to: *dst,
+                    kind: EventKind::PullRequest,
+                });
                 if let Some(msg) = reply {
                     let bits = self.header_bits + msg.size_bits();
                     stats.messages += 1;
@@ -364,10 +393,18 @@ impl<S> Network<S> {
                     self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
                     self.metrics.pull_replies += 1;
                     self.metrics.payload_messages += 1;
-                    self.trace.record(Event { round: self.round, from: *dst, to: *src, kind: EventKind::PullReply });
+                    self.trace.record(Event {
+                        round: self.round,
+                        from: *dst,
+                        to: *src,
+                        kind: EventKind::PullReply,
+                    });
                     deliver(
                         &mut self.states[src.as_usize()],
-                        Delivery::PullReply { from: self.ids.id_of(*dst), msg },
+                        Delivery::PullReply {
+                            from: self.ids.id_of(*dst),
+                            msg,
+                        },
                     );
                 }
             }
@@ -376,7 +413,10 @@ impl<S> Network<S> {
             if let Resolved::Pull { src, dst } = r {
                 let d = dst.as_usize();
                 if self.alive[d] {
-                    deliver(&mut self.states[d], Delivery::PulledBy(self.ids.id_of(*src)));
+                    deliver(
+                        &mut self.states[d],
+                        Delivery::PulledBy(self.ids.id_of(*src)),
+                    );
                 }
             }
         }
@@ -413,7 +453,10 @@ mod tests {
 
     fn everyone_pushes(net: &mut Network<St>) -> RoundStats {
         net.round(
-            |_ctx, _rng| Action::Push { to: Target::Random, msg: Unit },
+            |_ctx, _rng| Action::Push {
+                to: Target::Random,
+                msg: Unit,
+            },
             |_s| None,
             |s, d| {
                 if matches!(d, Delivery::Push { .. }) {
@@ -482,7 +525,11 @@ mod tests {
     #[test]
     fn dead_nodes_neither_act_nor_respond() {
         let mut net: Network<St> = Network::new(4, 4);
-        net.apply_failures(&FailurePlan::explicit(vec![NodeIdx(1), NodeIdx(2), NodeIdx(3)]));
+        net.apply_failures(&FailurePlan::explicit(vec![
+            NodeIdx(1),
+            NodeIdx(2),
+            NodeIdx(3),
+        ]));
         assert_eq!(net.alive_count(), 1);
         // Node 0 pulls a random node: all candidates are dead, so no reply.
         let stats = net.round(
@@ -490,7 +537,10 @@ mod tests {
                 if ctx.idx.0 == 0 {
                     Action::<Unit>::Pull { to: Target::Random }
                 } else {
-                    Action::Push { to: Target::Random, msg: Unit }
+                    Action::Push {
+                        to: Target::Random,
+                        msg: Unit,
+                    }
                 }
             },
             |_s| Some(Unit),
@@ -511,7 +561,10 @@ mod tests {
         net.round(
             |ctx, _rng| {
                 if ctx.idx.0 == 0 {
-                    Action::Push { to: Target::Direct(target_id), msg: Unit }
+                    Action::Push {
+                        to: Target::Direct(target_id),
+                        msg: Unit,
+                    }
                 } else {
                     Action::Idle
                 }
@@ -538,7 +591,10 @@ mod tests {
                 if ctx.idx.0 == 0 {
                     Action::Idle
                 } else {
-                    Action::Push { to: Target::Direct(hub), msg: Unit }
+                    Action::Push {
+                        to: Target::Direct(hub),
+                        msg: Unit,
+                    }
                 }
             },
             |_s| None,
@@ -569,7 +625,10 @@ mod tests {
             net.round(
                 |ctx, _| {
                     if ctx.idx.0 == 0 {
-                        Action::Push { to: Target::Random, msg: Unit }
+                        Action::Push {
+                            to: Target::Random,
+                            msg: Unit,
+                        }
                     } else {
                         Action::Idle
                     }
@@ -630,6 +689,10 @@ mod tests {
         net.enable_trace(100);
         everyone_pushes(&mut net);
         assert_eq!(net.trace().events().len(), 4);
-        assert!(net.trace().events().iter().all(|e| e.kind == EventKind::Push));
+        assert!(net
+            .trace()
+            .events()
+            .iter()
+            .all(|e| e.kind == EventKind::Push));
     }
 }

@@ -53,7 +53,12 @@ impl Trace {
     /// An enabled trace keeping at most `cap` events.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        Trace { enabled: true, cap, events: Vec::new(), dropped: 0 }
+        Trace {
+            enabled: true,
+            cap,
+            events: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Whether events are being recorded.
@@ -92,7 +97,12 @@ mod tests {
     use super::*;
 
     fn ev(round: u64) -> Event {
-        Event { round, from: NodeIdx(0), to: NodeIdx(1), kind: EventKind::Push }
+        Event {
+            round,
+            from: NodeIdx(0),
+            to: NodeIdx(1),
+            kind: EventKind::Push,
+        }
     }
 
     #[test]

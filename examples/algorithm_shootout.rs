@@ -8,15 +8,20 @@
 
 use optimal_gossip::prelude::*;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::arg_n;
+
 fn main() {
-    let sizes = [1usize << 9, 1 << 11, 1 << 13];
+    let top = arg_n(1 << 13).max(8);
+    let sizes = [(top >> 4).max(2), (top >> 2).max(4), top];
     let mut common = CommonConfig::default();
     common.seed = 5;
 
     println!("rounds (and msgs/node) to inform all nodes\n");
     print!("{:<14} {:>10}", "algorithm", "law");
     for n in sizes {
-        print!(" {:>16}", format!("n=2^{}", n.trailing_zeros()));
+        print!(" {:>16}", format!("n={n}"));
     }
     println!();
 
@@ -65,17 +70,21 @@ fn main() {
         for &n in &sizes {
             let r = run(n);
             assert!(r.success, "{name} failed at n={n}");
-            print!(" {:>16}", format!("{} ({:.0}m)", r.rounds, r.messages_per_node()));
+            print!(
+                " {:>16}",
+                format!("{} ({:.0}m)", r.rounds, r.messages_per_node())
+            );
         }
         println!();
     }
 
+    let threshold = optimal_gossip::core::config::loglog2n(top);
     println!(
         "\nAnd the lower bound (Theorem 3): P[any algorithm can finish in T rounds]\n\
-         for n = 2^13 — the 0 -> 1 threshold sits at T ~ log2 log2 n = 3.7:"
+         for n = {top} — the 0 -> 1 threshold sits at T ~ log2 log2 n = {threshold:.1}:"
     );
     for t in 1..=6 {
-        let p = estimate_success(1 << 13, t, 10, 3);
+        let p = estimate_success(top, t, 10, 3);
         println!("  T = {t}: {p:.2}");
     }
 }

@@ -13,15 +13,19 @@
 use optimal_gossip::core::config::log2n;
 use optimal_gossip::prelude::*;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::arg_n;
+
 fn main() {
-    let n = 1 << 13;
+    let n = arg_n(1 << 13);
     println!("Broadcast to {n} nodes with bounded per-round fan-in\n");
     println!(
         "{:<8} {:>22} {:>12} {:>12} {:>10}",
         "delta", "bound log n/log delta'", "loop iters", "max fan-in", "success"
     );
 
-    for delta in [16usize, 64, 256, 1024] {
+    for delta in [16usize, 64, 256, 1024].into_iter().filter(|d| *d <= n) {
         let mut cfg = PushPullConfig::default();
         cfg.common.seed = 7;
         let report = cluster_push_pull::run(n, delta, &cfg);

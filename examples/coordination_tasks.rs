@@ -13,8 +13,12 @@ use optimal_gossip::core::tasks::{
 use optimal_gossip::core::{broadcast_success_test, run_unknown_n};
 use optimal_gossip::prelude::*;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::arg_n;
+
 fn main() {
-    let n = 1 << 12;
+    let n = arg_n(1 << 12);
     let mut cfg = Cluster2Config::default();
     cfg.common.seed = 31;
 
@@ -45,16 +49,16 @@ fn main() {
 
     // --- 5. Self-verification: the Section 2 whp success test. ---
     let test = broadcast_success_test(&mut sim);
-    println!("\nWhp success self-test ({} rounds): verdict = {}", test.rounds, test.verdict);
+    println!(
+        "\nWhp success self-test ({} rounds): verdict = {}",
+        test.rounds, test.verdict
+    );
 
     // --- 6. The same broadcast when nodes do NOT know n. ---
     println!("\nGuess-test-and-double (nodes do not know n):");
     let unknown = run_unknown_n(n, &cfg);
     println!(
         "  guesses tried: {:?}\n  total rounds {} (known-n run: {}), final success: {}",
-        unknown.guesses,
-        unknown.total_rounds,
-        report.rounds,
-        unknown.final_run.success
+        unknown.guesses, unknown.total_rounds, report.rounds, unknown.final_run.success
     );
 }

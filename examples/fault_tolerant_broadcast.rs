@@ -8,8 +8,12 @@
 
 use optimal_gossip::prelude::*;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::arg_n;
+
 fn main() {
-    let n = 1 << 13;
+    let n = arg_n(1 << 13);
     let f = n / 4;
 
     println!("{n} nodes, adversary fails {f} of them before round 0\n");
@@ -24,7 +28,12 @@ fn main() {
         if fail {
             common.failures = FailurePlan::random(n, f, 1234);
             // Keep the source alive (the task assumes a surviving source).
-            if common.failures.failed().iter().any(|i| i.0 == common.source) {
+            if common
+                .failures
+                .failed()
+                .iter()
+                .any(|i| i.0 == common.source)
+            {
                 common.source = (0..n as u32)
                     .find(|i| !common.failures.failed().iter().any(|x| x.0 == *i))
                     .expect("not all nodes failed");

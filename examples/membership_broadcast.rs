@@ -13,8 +13,12 @@
 
 use optimal_gossip::prelude::*;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::arg_n;
+
 fn main() {
-    let n = 1 << 13; // 8_192 replicas
+    let n = arg_n(1 << 13); // 8_192 replicas by default
     let config_blob_bits = 8 * 1024; // a 1 KiB membership snapshot
     let mut common = CommonConfig::default();
     common.seed = 2024;

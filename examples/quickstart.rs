@@ -7,27 +7,44 @@
 
 use optimal_gossip::prelude::*;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::arg_n;
+
 fn main() {
-    let n = 1 << 14; // 16_384 nodes
+    let n = arg_n(1 << 14); // 16_384 nodes by default
     let mut cfg = Cluster2Config::default();
     cfg.common.seed = 42;
     cfg.common.rumor_bits = 1024; // a 128-byte rumor
-    cfg.common.source = 7; // node 7 knows it first
+    cfg.common.source = 7.min(n as u32 - 1); // node 7 knows it first
 
-    println!("Broadcasting a {}-bit rumor to {} nodes with Cluster2...\n", cfg.common.rumor_bits, n);
+    println!(
+        "Broadcasting a {}-bit rumor to {} nodes with Cluster2...\n",
+        cfg.common.rumor_bits, n
+    );
     let report = cluster2::run(n, &cfg);
 
     println!("success             : {}", report.success);
     println!("informed            : {}/{}", report.informed, report.alive);
     println!("rounds              : {}", report.rounds);
     println!("messages per node   : {:.2}", report.messages_per_node());
-    println!("payload msgs/node   : {:.2}", report.payload_messages_per_node());
-    println!("bits per node       : {:.0} (rumor is {} bits)", report.bits_per_node(), cfg.common.rumor_bits);
+    println!(
+        "payload msgs/node   : {:.2}",
+        report.payload_messages_per_node()
+    );
+    println!(
+        "bits per node       : {:.0} (rumor is {} bits)",
+        report.bits_per_node(),
+        cfg.common.rumor_bits
+    );
     println!("max per-round fan-in: {}", report.max_fan_in);
 
     println!("\nPhase breakdown:");
     for p in &report.phases {
-        println!("  {:22} {:>4} rounds  {:>9} msgs  {:>12} bits", p.name, p.rounds, p.messages, p.bits);
+        println!(
+            "  {:22} {:>4} rounds  {:>9} msgs  {:>12} bits",
+            p.name, p.rounds, p.messages, p.bits
+        );
     }
 
     // The headline comparison: plain PUSH gossip needs Θ(log n) messages

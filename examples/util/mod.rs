@@ -1,0 +1,12 @@
+//! Helpers shared by the example binaries (not an example itself: cargo
+//! only auto-discovers `examples/*.rs` and `examples/*/main.rs`).
+
+/// Optional first CLI argument overrides the network size (used by the
+/// examples smoke test to run every example at a small `n`).
+pub fn arg_n(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("usage: example [n]"))
+        .unwrap_or(default)
+        .max(4)
+}

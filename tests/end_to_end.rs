@@ -74,7 +74,11 @@ fn cluster_push_pull_end_to_end() {
         cfg.common.seed = 5;
         let r = cluster_push_pull::run(2048, delta, &cfg);
         assert!(r.success, "delta={delta}: {}/{}", r.informed, r.alive);
-        assert!(r.max_fan_in <= delta as u64, "delta={delta}: fan-in {}", r.max_fan_in);
+        assert!(
+            r.max_fan_in <= delta as u64,
+            "delta={delta}: fan-in {}",
+            r.max_fan_in
+        );
     }
 }
 
@@ -98,8 +102,15 @@ fn delta_clustering_is_well_formed_across_grid() {
 #[test]
 fn name_dropper_discovers_complete_graph() {
     let common = CommonConfig::default();
-    for topo in [name_dropper::Topology::Ring, name_dropper::Topology::SparseRandom] {
+    for topo in [
+        name_dropper::Topology::Ring,
+        name_dropper::Topology::SparseRandom,
+    ] {
         let r = name_dropper::run(192, topo, &common);
-        assert!(r.complete, "{topo:?} did not complete in {} rounds", r.rounds);
+        assert!(
+            r.complete,
+            "{topo:?} did not complete in {} rounds",
+            r.rounds
+        );
     }
 }

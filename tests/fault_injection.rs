@@ -11,7 +11,12 @@ fn faulty_common(n: usize, f: usize, seed: u64) -> CommonConfig {
     let mut common = CommonConfig::default();
     common.seed = seed;
     common.failures = FailurePlan::random(n, f, phonecall::derive_seed(seed, 0xFA));
-    if common.failures.failed().iter().any(|i| i.0 == common.source) {
+    if common
+        .failures
+        .failed()
+        .iter()
+        .any(|i| i.0 == common.source)
+    {
         common.source = (0..n as u32)
             .find(|i| !common.failures.failed().iter().any(|x| x.0 == *i))
             .expect("not all nodes failed");
@@ -117,7 +122,10 @@ fn randomized_baselines_self_heal_under_message_loss() {
     common.seed = 21;
     common.message_loss = 0.15;
     assert!(push::run(1024, &common).success, "push self-heals");
-    assert!(push_pull::run(1024, &common).success, "push-pull self-heals");
+    assert!(
+        push_pull::run(1024, &common).success,
+        "push-pull self-heals"
+    );
     assert!(karp::run(1024, &common).success, "karp self-heals");
 }
 

@@ -44,7 +44,10 @@ fn theorem2_message_shape() {
     let c2_growth = large.messages_per_node() / small.messages_per_node();
     let push_small = push::run(1 << 10, &common);
     let push_growth = push_large.messages_per_node() / push_small.messages_per_node();
-    assert!(c2_growth < push_growth, "Cluster2 {c2_growth} vs push {push_growth}");
+    assert!(
+        c2_growth < push_growth,
+        "Cluster2 {c2_growth} vs push {push_growth}"
+    );
 }
 
 /// Theorem 2 (bits): total bits are O(n·b) — with a large rumor the
@@ -66,7 +69,11 @@ fn theorem2_bit_shape() {
 fn theorem3_threshold() {
     let n = 1 << 14;
     assert_eq!(estimate_success(n, 1, 6, 4), 0.0, "T=1 must always fail");
-    assert_eq!(estimate_success(n, 2, 6, 4), 0.0, "T=2 must always fail at n=2^14");
+    assert_eq!(
+        estimate_success(n, 2, 6, 4),
+        0.0,
+        "T=2 must always fail at n=2^14"
+    );
     assert!(estimate_success(n, 6, 6, 4) > 0.99, "T=6 must succeed");
 }
 
@@ -92,7 +99,10 @@ fn theorem18_delta_clustering() {
     let (_s_large, large) = cluster3::build(1 << 15, 32, &cfg);
     assert!(small.complete && large.complete);
     assert!(small.max_fan_in <= 32 && large.max_fan_in <= 32);
-    assert!((large.rounds as f64) < small.rounds as f64 * 1.5, "O(log log n) rounds");
+    assert!(
+        (large.rounds as f64) < small.rounds as f64 * 1.5,
+        "O(log log n) rounds"
+    );
 }
 
 /// Lemma 16/17: more fan-in, fewer rounds — the trade-off is monotone
@@ -105,7 +115,10 @@ fn lemma16_tradeoff_monotone() {
         cfg.common.seed = 7;
         let r = cluster_push_pull::run(n, delta, &cfg);
         assert!(r.success);
-        r.phases.iter().find(|p| p.name == "PushPullLoop").map_or(0, |p| p.rounds)
+        r.phases
+            .iter()
+            .find(|p| p.name == "PushPullLoop")
+            .map_or(0, |p| p.rounds)
     };
     let r16 = loop_rounds(16);
     let r256 = loop_rounds(256);
@@ -153,7 +166,10 @@ fn avin_elsasser_sits_between() {
     let growth = |f: &dyn Fn(usize) -> u64| f(1 << 15) as f64 / f(1 << 9) as f64;
     let ae = growth(&|n| avin_elsasser::run(n, &common).rounds);
     let push_g = growth(&|n| push::run(n, &common).rounds);
-    assert!(ae < push_g, "AE round growth {ae} must be below push {push_g}");
+    assert!(
+        ae < push_g,
+        "AE round growth {ae} must be below push {push_g}"
+    );
 }
 
 /// Karp et al.: rumor transmissions per node stay near-flat while plain

@@ -56,7 +56,11 @@ fn delta_clustering_bounds_hold_across_seeds() {
         cfg.c2.common.seed = cfg.common.seed;
         let (_sim, rep) = cluster3::build(1024, 64, &cfg);
         assert!(rep.complete, "seed {seed}");
-        assert!(rep.max_fan_in <= 64, "seed {seed}: fan-in {}", rep.max_fan_in);
+        assert!(
+            rep.max_fan_in <= 64,
+            "seed {seed}: fan-in {}",
+            rep.max_fan_in
+        );
     }
 }
 
@@ -67,7 +71,10 @@ fn baselines_succeed_across_seeds() {
         common.seed = phonecall::derive_seed(0x56, seed);
         assert!(push::run(1024, &common).success, "push seed {seed}");
         assert!(pull::run(1024, &common).success, "pull seed {seed}");
-        assert!(push_pull::run(1024, &common).success, "push_pull seed {seed}");
+        assert!(
+            push_pull::run(1024, &common).success,
+            "push_pull seed {seed}"
+        );
         assert!(karp::run(1024, &common).success, "karp seed {seed}");
         assert!(avin_elsasser::run(1024, &common).success, "ae seed {seed}");
     }

@@ -1,0 +1,394 @@
+//! Offline stub of `proptest`.
+//!
+//! Provides a deterministic random-case test runner with the strategy
+//! surface this workspace uses: integer range strategies, `Just`,
+//! `prop_map`, `prop_oneof!`, `prop::collection::vec`, `any`, the
+//! `proptest!` macro with optional `#![proptest_config(..)]`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its inputs and panics as-is), and case generation is seeded from the
+//! case index so every run explores the same inputs. That trade keeps the
+//! crate dependency-free for hermetic builds while preserving the bug-
+//! finding power of randomized inputs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The deterministic RNG handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for one test case; fully determined by `(test, case)`.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        if span == 0 {
+            self.next_u64()
+        } else {
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`; panics if empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Full-domain sampling for [`any`].
+pub trait Arbitrary {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's full domain, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with `size` in the given range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Prints the failing case's inputs if the test body panics.
+#[derive(Debug)]
+pub struct CaseReporter {
+    /// Rendered `name = value` pairs for the current case.
+    pub desc: String,
+    /// Case index within the run.
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stub: case #{} failed with inputs: {}",
+                self.case, self.desc
+            );
+        }
+    }
+}
+
+/// Everything a proptest-based test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+
+    /// Alias so `prop::collection::vec(..)` resolves after a glob import.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines deterministic random-case tests.
+///
+/// Supports the standard form: an optional `#![proptest_config(expr)]`
+/// followed by `#[test]` functions whose arguments are `name in strategy`
+/// bindings.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(
+                        let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);
+                    )+
+                    let __desc = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __reporter = $crate::CaseReporter { desc: __desc, case: __case };
+                    { $body }
+                    drop(__reporter);
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// `prop_assert!`: asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 1u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let sample = |_run: u32| {
+            let mut rng = TestRng::for_case("determinism", 0);
+            (0u64..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(0), sample(0));
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![Just(1u8), (5u8..=6).prop_map(|x| x * 2)]) {
+            prop_assert!(v == 1 || v == 10 || v == 12);
+        }
+    }
+}

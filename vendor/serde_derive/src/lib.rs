@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace is built in a hermetic environment with no crates.io
+//! access; none of the code paths actually serialize, they only annotate
+//! types with `#[derive(Serialize, Deserialize)]`. These stub derives
+//! expand to an empty token stream, which is enough to compile every
+//! annotated type. Swap in the real `serde`/`serde_derive` by replacing
+//! the `vendor/` path deps if network access becomes available.
+
+use proc_macro::TokenStream;
+
+/// Stub `Serialize` derive: expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub `Deserialize` derive: expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
