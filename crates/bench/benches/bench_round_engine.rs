@@ -1,0 +1,84 @@
+//! Micro-benches of the steady-state round loop: the engine's hot path
+//! after the PR-2 scratch-buffer refactor (reused resolved/response
+//! buffers, moved — not cloned — push payloads, `Copy` per-round stats).
+//!
+//! The companion counting-allocator test
+//! (`crates/phonecall/tests/alloc_steady_state.rs`) asserts the loop
+//! performs zero allocations in steady state; these benches track what
+//! that buys in wall time per round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phonecall::{Action, Delivery, Network, Target};
+
+#[derive(Clone, Default)]
+struct St {
+    got: u64,
+}
+
+fn push_storm(net: &mut Network<St>) {
+    net.round(
+        |_ctx, _rng| Action::Push {
+            to: Target::Random,
+            msg: 0xFEEDu64,
+        },
+        |_s| None,
+        |s, d| {
+            if let Delivery::Push { msg, .. } = d {
+                s.got = msg;
+            }
+        },
+    );
+}
+
+fn mixed_traffic(net: &mut Network<St>) {
+    net.round(
+        |ctx, _rng| match ctx.idx.0 % 3 {
+            0 => Action::Push {
+                to: Target::Random,
+                msg: 1u64,
+            },
+            1 => Action::<u64>::Pull { to: Target::Random },
+            _ => Action::Idle,
+        },
+        |s| Some(s.got),
+        |s, d| match d {
+            Delivery::Push { msg, .. } | Delivery::PullReply { msg, .. } => s.got = msg,
+            Delivery::PulledBy(_) => {}
+        },
+    );
+}
+
+fn bench_round_push_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("round_push_storm");
+    g.sample_size(50);
+    for n in [1usize << 10, 1 << 14] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut net: Network<St> = Network::new(n, 1);
+            push_storm(&mut net); // warm the scratch buffers
+            b.iter(|| {
+                push_storm(&mut net);
+                net.metrics().rounds
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_round_mixed_traffic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("round_mixed_traffic");
+    g.sample_size(50);
+    for n in [1usize << 10, 1 << 14] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut net: Network<St> = Network::new(n, 2);
+            mixed_traffic(&mut net);
+            b.iter(|| {
+                mixed_traffic(&mut net);
+                net.metrics().rounds
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_round_push_storm, bench_round_mixed_traffic);
+criterion_main!(benches);

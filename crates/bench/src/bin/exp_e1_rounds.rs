@@ -6,10 +6,16 @@
 //! Prints the measured mean rounds per `(algorithm, n)`, the rounds
 //! normalized by each algorithm's predicted law (flat row = shape holds),
 //! and a model-selection table fitting every candidate law.
+//!
+//! With `--json`, additionally re-runs the grid through the sequential
+//! runner, asserts the parallel summaries are bit-identical to it, and
+//! writes `BENCH_e1.json` with both wall times and the speedup.
 
-use gossip_bench::{emit, ns_header, parse_opts, Algo};
+use gossip_bench::{emit, ns_header, parse_opts, Algo, BenchJson};
 use gossip_harness::fit::best_fits;
-use gossip_harness::{fit_ratio, geometric_ns, run_trials, AsciiPlot, Table};
+use gossip_harness::{
+    fit_ratio, geometric_ns, par_map_trials, run_trials_seq, AsciiPlot, Summary, Table,
+};
 
 fn main() {
     let opts = parse_opts();
@@ -19,6 +25,33 @@ fn main() {
         geometric_ns(8, 14, 2)
     };
     let trials = if opts.full { 20 } else { 8 };
+    let mut bench = BenchJson::start("e1", opts);
+
+    // Compute phase: every (algorithm, n) cell fans its trials out across
+    // the worker threads; per-trial records come back in seed order, so
+    // the summaries are bit-identical to a sequential run.
+    struct Cell {
+        rounds: Summary,
+        msgs_per_node: Summary,
+    }
+    let mut data: Vec<(Algo, Vec<Cell>)> = Vec::new();
+    for algo in Algo::all() {
+        let mut cells = Vec::new();
+        for &n in &ns {
+            let reps = par_map_trials(0xE1, algo.name(), trials, |seed| {
+                let r = algo.run(n, seed);
+                (r.rounds as f64, r.messages_per_node())
+            });
+            let rounds: Vec<f64> = reps.iter().map(|&(r, _)| r).collect();
+            let msgs: Vec<f64> = reps.iter().map(|&(_, m)| m).collect();
+            cells.push(Cell {
+                rounds: Summary::from_samples(&rounds),
+                msgs_per_node: Summary::from_samples(&msgs),
+            });
+        }
+        data.push((algo, cells));
+    }
+    let wall_par_ms = bench.stop();
 
     let header = ns_header(&["algorithm", "law"], &ns);
     let cols: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -44,14 +77,8 @@ fn main() {
     );
 
     let mut fig = AsciiPlot::new("Figure E1: rounds vs n (log-x)", 60, 16);
-    for algo in Algo::all() {
-        let mut means = Vec::new();
-        for &n in &ns {
-            let s = run_trials(0xE1, algo.name(), trials, |seed| {
-                algo.run(n, seed).rounds as f64
-            });
-            means.push(s.mean);
-        }
+    for (algo, cells) in &data {
+        let means: Vec<f64> = cells.iter().map(|c| c.rounds.mean).collect();
         let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
         let law = algo.predicted_rounds();
         let predicted_fit = fit_ratio(&xs, &means, law);
@@ -94,5 +121,40 @@ fn main() {
     if !opts.csv {
         println!();
         print!("{}", fig.render());
+    }
+
+    if opts.json {
+        // Sequential control pass: same grid through run_trials_seq. This
+        // both times the sequential baseline and proves in situ that the
+        // parallel summaries above are bit-identical to it.
+        let seq_start = std::time::Instant::now();
+        for (algo, cells) in &data {
+            for (&n, cell) in ns.iter().zip(cells) {
+                let seq = run_trials_seq(0xE1, algo.name(), trials, |seed| {
+                    algo.run(n, seed).rounds as f64
+                });
+                assert_eq!(
+                    seq,
+                    cell.rounds,
+                    "parallel summary diverged from sequential for {} at n={n}",
+                    algo.name()
+                );
+            }
+        }
+        let wall_seq_ms = seq_start.elapsed().as_secs_f64() * 1e3;
+
+        let (_, head_cells) = data
+            .iter()
+            .find(|(a, _)| *a == Algo::Cluster2)
+            .expect("Cluster2 is always compared");
+        let last = head_cells.last().expect("non-empty grid");
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric("grid_cells", (ns.len() * data.len()) as f64);
+        bench.metric("wall_ms_parallel", wall_par_ms);
+        bench.metric("wall_ms_sequential", wall_seq_ms);
+        bench.metric("speedup_vs_seq", wall_seq_ms / wall_par_ms.max(1e-9));
+        bench.metric("cluster2_mean_rounds_largest_n", last.rounds.mean);
+        bench.metric("cluster2_msgs_per_node_largest_n", last.msgs_per_node.mean);
+        bench.finish();
     }
 }

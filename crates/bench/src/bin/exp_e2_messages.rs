@@ -9,7 +9,7 @@
 //! payload-bearing messages per node (the "transmissions" measure of
 //! Karp et al. — header-only pull requests excluded).
 
-use gossip_bench::{emit, ns_header, parse_opts, Algo};
+use gossip_bench::{emit, ns_header, parse_opts, Algo, BenchJson};
 use gossip_harness::{geometric_ns, run_trials, Table};
 
 fn main() {
@@ -20,6 +20,7 @@ fn main() {
         geometric_ns(8, 14, 2)
     };
     let trials = if opts.full { 20 } else { 8 };
+    let mut bench = BenchJson::start("e2", opts);
 
     let header = ns_header(&["algorithm"], &ns);
     let cols: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -33,6 +34,8 @@ fn main() {
         &["algorithm", "total growth", "payload growth"],
     );
 
+    // Headline record for --json: Cluster2 at the largest n.
+    let mut headline = (0.0f64, 0.0f64);
     for algo in Algo::all() {
         let mut totals = Vec::new();
         let mut payloads = Vec::new();
@@ -45,6 +48,9 @@ fn main() {
             });
             totals.push(t.mean);
             payloads.push(p.mean);
+        }
+        if algo == Algo::Cluster2 {
+            headline = (*totals.last().unwrap(), *payloads.last().unwrap());
         }
         let mut row = vec![algo.name().to_string()];
         row.extend(totals.iter().map(|m| format!("{m:.1}")));
@@ -62,9 +68,17 @@ fn main() {
         ]);
     }
 
+    bench.stop();
     emit(&total_tbl, opts);
     println!();
     emit(&payload_tbl, opts);
     println!();
     emit(&growth_tbl, opts);
+
+    if opts.json {
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric("cluster2_total_msgs_per_node_largest_n", headline.0);
+        bench.metric("cluster2_payload_msgs_per_node_largest_n", headline.1);
+        bench.finish();
+    }
 }

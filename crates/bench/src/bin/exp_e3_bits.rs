@@ -5,11 +5,12 @@
 //! grow. Avin–Elsässer pays an extra `n·log^{3/2} n` term (visible at
 //! small `b`), and PUSH pays `Θ(n·b·log n)`.
 
-use gossip_bench::{emit, parse_opts, Algo};
+use gossip_bench::{emit, parse_opts, Algo, BenchJson};
 use gossip_harness::{geometric_ns, run_trials, Table};
 
 fn main() {
     let opts = parse_opts();
+    let mut bench = BenchJson::start("e3", opts);
     let ns = if opts.full {
         geometric_ns(9, 16, 1)
     } else {
@@ -27,6 +28,7 @@ fn main() {
         &cols,
     );
 
+    let mut headline = 0.0f64;
     for algo in algos {
         for &b in bs {
             let mut row = vec![algo.name().to_string(), b.to_string()];
@@ -35,12 +37,21 @@ fn main() {
                     let r = algo.run_with(n, seed, b);
                     r.bits as f64 / (n as f64 * b as f64)
                 });
+                if algo == Algo::Cluster2 && b == *bs.last().unwrap() && n == *ns.last().unwrap() {
+                    headline = s.mean;
+                }
                 row.push(format!("{:.2}", s.mean));
             }
             tbl.push_row(row);
         }
     }
+    bench.stop();
     emit(&tbl, opts);
+    if opts.json {
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric("cluster2_bits_per_nb_largest_cell", headline);
+        bench.finish();
+    }
     println!();
     println!(
         "Reading: Cluster2 rows converge to a constant as b grows (O(nb));\n\

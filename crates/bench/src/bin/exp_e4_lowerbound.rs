@@ -8,13 +8,14 @@
 //! threshold around `T ≈ log₂ log₂ n`, with everything at or below the
 //! paper's `0.99·log log n` cutoff at probability 0.
 
-use gossip_bench::{emit, parse_opts};
-use gossip_harness::Table;
+use gossip_bench::{emit, parse_opts, BenchJson};
+use gossip_harness::{par_map_on, Table};
 use gossip_lowerbound::knowledge::rounds_to_complete;
 use gossip_lowerbound::theorem3::{estimate_success, paper_threshold};
 
 fn main() {
     let opts = parse_opts();
+    let mut bench = BenchJson::start("e4", opts);
     let (ns, trials): (Vec<usize>, u32) = if opts.full {
         (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18], 30)
     } else {
@@ -32,10 +33,13 @@ fn main() {
             format!("2^{}", n.trailing_zeros()),
             format!("{:.2}", paper_threshold(n)),
         ];
-        for &t in &ts {
-            let p = estimate_success(n, t, trials, 0xE4);
-            row.push(format!("{p:.2}"));
-        }
+        // Every cell builds its own RNGs from derive_seed(0xE4, trial) —
+        // nothing is shared across cells — so fanning the T column out
+        // across workers changes nothing.
+        let ps = par_map_on(gossip_harness::default_threads(), &ts, |&t| {
+            estimate_success(n, t, trials, 0xE4)
+        });
+        row.extend(ps.iter().map(|p| format!("{p:.2}")));
         tbl.push_row(row);
     }
     emit(&tbl, opts);
@@ -55,18 +59,33 @@ fn main() {
     } else {
         vec![1 << 6, 1 << 8, 1 << 10]
     };
+    let mut headline_rounds = 0.0f64;
     for &n in &kns {
-        let mean: f64 = (0..5)
-            .map(|s| f64::from(rounds_to_complete(n, s, 30).expect("completes")))
-            .sum::<f64>()
+        let seeds: Vec<u64> = (0..5).collect();
+        let mean: f64 = par_map_on(gossip_harness::default_threads(), &seeds, |&s| {
+            f64::from(rounds_to_complete(n, s, 30).expect("completes"))
+        })
+        .iter()
+        .sum::<f64>()
             / 5.0;
+        headline_rounds = mean;
         k_tbl.push_row(vec![
             format!("2^{}", n.trailing_zeros()),
             format!("{:.2}", gossip_core::config::loglog2n(n)),
             format!("{mean:.1}"),
         ]);
     }
+    bench.stop();
     emit(&k_tbl, opts);
+    if opts.json {
+        bench.metric("diam_trials_per_cell", f64::from(trials));
+        bench.metric("lemma14_mean_rounds_largest_n", headline_rounds);
+        bench.metric(
+            "paper_threshold_largest_n",
+            paper_threshold(*ns.last().unwrap()),
+        );
+        bench.finish();
+    }
     println!();
     println!(
         "Reading: columns T at or below 0.99*loglog n are 0.00 (Theorem 3:\n\

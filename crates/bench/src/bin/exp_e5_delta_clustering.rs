@@ -4,12 +4,13 @@
 //! `Θ(Δ)` in `O(log log n)` rounds with `O(n)` messages, while **no node
 //! communicates with more than `Δ` others in any round**.
 
-use gossip_bench::{emit, parse_opts};
+use gossip_bench::{emit, parse_opts, BenchJson};
 use gossip_core::{cluster3, Cluster3Config};
-use gossip_harness::{run_trials, Summary, Table};
+use gossip_harness::{par_map_trials, run_trials, Summary, Table};
 
 fn main() {
     let opts = parse_opts();
+    let mut bench = BenchJson::start("e5", opts);
     let ns: Vec<usize> = if opts.full {
         vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
     } else {
@@ -33,30 +34,37 @@ fn main() {
         ],
     );
 
+    let mut headline = (0.0f64, 0.0f64);
     for &n in &ns {
         let exps = [4u32, 3, 2]; // delta = n^{1/4}, n^{1/3}, n^{1/2}
         for &e in &exps {
             let delta = (n as f64).powf(1.0 / f64::from(e)).round() as usize;
             let delta = delta.max(16);
+            // One record per trial, reassembled in seed order; the fold
+            // below reproduces the sequential accumulation exactly.
+            let reps = par_map_trials(0xE5, &format!("d{e}n{n}"), trials, |seed| {
+                let mut cfg = Cluster3Config::default();
+                cfg.common.seed = seed;
+                cfg.c2.common.seed = seed;
+                let (_sim, rep) = cluster3::build(n, delta, &cfg);
+                rep
+            });
             let mut fan_ok = true;
             let mut complete = true;
             let mut min_size = usize::MAX;
             let mut max_size = 0usize;
             let mut fan_max = 0u64;
             let mut working = 0u64;
-            let rounds: Summary = run_trials(0xE5, &format!("d{e}n{n}"), trials, |seed| {
-                let mut cfg = Cluster3Config::default();
-                cfg.common.seed = seed;
-                cfg.c2.common.seed = seed;
-                let (_sim, rep) = cluster3::build(n, delta, &cfg);
+            for rep in &reps {
                 fan_ok &= rep.max_fan_in <= delta as u64;
                 complete &= rep.complete;
                 min_size = min_size.min(rep.clustering.min_size);
                 max_size = max_size.max(rep.clustering.max_size);
                 fan_max = fan_max.max(rep.max_fan_in);
                 working = rep.working_size;
-                rep.rounds as f64
-            });
+            }
+            let samples: Vec<f64> = reps.iter().map(|rep| rep.rounds as f64).collect();
+            let rounds = Summary::from_samples(&samples);
             let msgs: Summary = run_trials(0xE5B, &format!("d{e}n{n}"), trials, |seed| {
                 let mut cfg = Cluster3Config::default();
                 cfg.common.seed = seed;
@@ -64,6 +72,7 @@ fn main() {
                 let (_sim, rep) = cluster3::build(n, delta, &cfg);
                 rep.messages as f64 / n as f64
             });
+            headline = (rounds.mean, msgs.mean);
             tbl.push_row(vec![
                 format!("2^{}", n.trailing_zeros()),
                 format!("{delta} (n^1/{e})"),
@@ -82,6 +91,7 @@ fn main() {
             ]);
         }
     }
+    bench.stop();
     emit(&tbl, opts);
     println!();
     println!(
@@ -89,4 +99,10 @@ fn main() {
          never exceeds delta, every node is clustered, and sizes are\n\
          Theta(delta') for the working size delta' = delta/5."
     );
+    if opts.json {
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric("cluster3_mean_rounds_last_cell", headline.0);
+        bench.metric("cluster3_msgs_per_node_last_cell", headline.1);
+        bench.finish();
+    }
 }

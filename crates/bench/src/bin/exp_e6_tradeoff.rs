@@ -5,13 +5,14 @@
 //! `Δ`-clustering achieves `O(log n / log Δ)` rounds with `O(n)` rumor
 //! transmissions (Lemma 17). Sweeping `Δ` at fixed `n` traces the curve.
 
-use gossip_bench::{emit, parse_opts};
+use gossip_bench::{emit, parse_opts, BenchJson};
 use gossip_core::config::log2n;
 use gossip_core::{cluster_push_pull, PushPullConfig};
-use gossip_harness::{run_trials, Table};
+use gossip_harness::{par_map_trials, Summary, Table};
 
 fn main() {
     let opts = parse_opts();
+    let mut bench = BenchJson::start("e6", opts);
     let n: usize = if opts.full { 1 << 15 } else { 1 << 13 };
     let trials = if opts.full { 10 } else { 5 };
     let deltas: Vec<usize> = if opts.full {
@@ -38,27 +39,40 @@ fn main() {
         ],
     );
 
+    let mut headline = (0.0f64, 0.0f64);
     for &delta in &deltas {
+        // One report per trial, in seed order; the folds below reproduce
+        // the sequential accumulation bit for bit.
+        let reps = par_map_trials(0xE6, &format!("d{delta}"), trials, |seed| {
+            let mut cfg = PushPullConfig::default();
+            cfg.common.seed = seed;
+            cluster_push_pull::run(n, delta, &cfg)
+        });
         let mut fan_max = 0u64;
         let mut ok = true;
         let mut payload = 0.0;
         let mut total_rounds = 0.0;
-        let loop_rounds = run_trials(0xE6, &format!("d{delta}"), trials, |seed| {
-            let mut cfg = PushPullConfig::default();
-            cfg.common.seed = seed;
-            let r = cluster_push_pull::run(n, delta, &cfg);
+        let mut samples = Vec::with_capacity(reps.len());
+        for r in &reps {
             fan_max = fan_max.max(r.max_fan_in);
             ok &= r.success;
             payload += r.payload_messages_per_node();
             total_rounds += r.rounds as f64;
             // 4 engine rounds per loop iteration (push, 2-round share, pull).
-            r.phases
-                .iter()
-                .find(|p| p.name == "PushPullLoop")
-                .map_or(0.0, |p| p.rounds as f64 / 4.0)
-        });
+            samples.push(
+                r.phases
+                    .iter()
+                    .find(|p| p.name == "PushPullLoop")
+                    .map_or(0.0, |p| p.rounds as f64 / 4.0),
+            );
+        }
+        let loop_rounds = Summary::from_samples(&samples);
         let bound = log2n(n) / (delta as f64 / 4.0).log2().max(1.0);
         let oracle = gossip_baselines::tree::predicted_rounds(n, delta);
+        headline = (
+            total_rounds / f64::from(trials),
+            payload / f64::from(trials),
+        );
         tbl.push_row(vec![
             delta.to_string(),
             format!("{bound:.1}"),
@@ -71,6 +85,7 @@ fn main() {
             if ok { "yes".into() } else { "NO".into() },
         ]);
     }
+    bench.stop();
     emit(&tbl, opts);
     println!();
     println!(
@@ -80,4 +95,10 @@ fn main() {
          oracle tree column is the unreachable free-addresses optimum\n\
          (baselines::tree): the gap to it is the price of address learning."
     );
+    if opts.json {
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric("push_pull_mean_rounds_largest_delta", headline.0);
+        bench.metric("push_pull_payload_msgs_per_node_largest_delta", headline.1);
+        bench.finish();
+    }
 }

@@ -6,12 +6,13 @@
 //! is that this ratio vanishes (it is `O(F/n)^{Θ(log log n)}`-ish, i.e.
 //! far below 1 and shrinking with n).
 
-use gossip_bench::{emit, parse_opts, Algo};
-use gossip_harness::{run_trials, Table};
+use gossip_bench::{emit, parse_opts, Algo, BenchJson};
+use gossip_harness::{par_map_trials, Summary, Table};
 use phonecall::FailurePlan;
 
 fn main() {
     let opts = parse_opts();
+    let mut bench = BenchJson::start("e7", opts);
     let n: usize = if opts.full { 1 << 14 } else { 1 << 12 };
     let trials = if opts.full { 15 } else { 6 };
     let fractions = [0.05f64, 0.1, 0.2, 0.3];
@@ -29,17 +30,22 @@ fn main() {
     );
     let mut rounds_tbl = Table::new("E7b: rounds under failures (guarantees preserved)", &cols);
 
+    let mut headline = (0.0f64, 0.0f64);
     for algo in algos {
         let mut row = vec![algo.name().to_string()];
         let mut rrow = vec![algo.name().to_string()];
         for &frac in &fractions {
             let f = (n as f64 * frac) as usize;
-            let mut rounds_acc = 0.0;
-            let s = run_trials(0xE7, &format!("{}{frac}", algo.name()), trials, |seed| {
+            let reps = par_map_trials(0xE7, &format!("{}{frac}", algo.name()), trials, |seed| {
                 let r = run_with_failures(algo, n, f, seed);
-                rounds_acc += r.rounds as f64;
-                r.uninformed() as f64 / f as f64
+                (r.uninformed() as f64 / f as f64, r.rounds as f64)
             });
+            let ratios: Vec<f64> = reps.iter().map(|&(u, _)| u).collect();
+            let rounds_acc: f64 = reps.iter().map(|&(_, r)| r).sum();
+            let s = Summary::from_samples(&ratios);
+            if algo == Algo::Cluster2 {
+                headline = (s.mean, rounds_acc / f64::from(trials));
+            }
             row.push(format!("{:.4}", s.mean));
             rrow.push(format!("{:.0}", rounds_acc / f64::from(trials)));
         }
@@ -47,6 +53,7 @@ fn main() {
         rounds_tbl.push_row(rrow);
     }
 
+    bench.stop();
     emit(&tbl, opts);
     println!();
     emit(&rounds_tbl, opts);
@@ -56,6 +63,12 @@ fn main() {
          o(F) guarantee of Theorem 19) and round counts match the fault-free\n\
          runs of E1."
     );
+    if opts.json {
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric("cluster2_uninformed_ratio_worst_frac", headline.0);
+        bench.metric("cluster2_mean_rounds_worst_frac", headline.1);
+        bench.finish();
+    }
 }
 
 fn run_with_failures(algo: Algo, n: usize, f: usize, seed: u64) -> gossip_core::report::RunReport {

@@ -12,16 +12,17 @@
 //!   the second sweep is what merges inactive clusters that the first one
 //!   missed. With a single sweep, stragglers pile up.
 
-use gossip_bench::{emit, parse_opts};
+use gossip_bench::{emit, parse_opts, BenchJson};
 use gossip_core::primitives::{
     activate, merge_iteration, resize, sample_singletons, MergeOpts, MergeRule, Who,
 };
 use gossip_core::{cluster2, Cluster2Config, ClusterSim, CommonConfig};
-use gossip_harness::{run_trials, Table};
+use gossip_harness::{par_map_trials, run_trials, Summary, Table};
 
 fn main() {
     let opts = parse_opts();
     let trials = if opts.full { 10 } else { 5 };
+    let mut bench = BenchJson::start("e8", opts);
 
     // --- A: squaring vs doubling -------------------------------------
     let ns: Vec<usize> = if opts.full {
@@ -67,19 +68,20 @@ fn main() {
             "uncapped",
         ],
     );
+    let mut headline_blowup = 0.0f64;
     for &n in &ns {
-        let mut frac_c = 0.0;
-        let capped = run_trials(0xE8B, &format!("c{n}"), trials, |seed| {
-            let (m, f) = grow_only(n, seed, true);
-            frac_c += f;
-            m
-        });
-        let mut frac_u = 0.0;
-        let uncapped = run_trials(0xE8B, &format!("u{n}"), trials, |seed| {
-            let (m, f) = grow_only(n, seed, false);
-            frac_u += f;
-            m
-        });
+        let fold = |reps: Vec<(f64, f64)>| {
+            let msgs: Vec<f64> = reps.iter().map(|&(m, _)| m).collect();
+            let frac: f64 = reps.iter().map(|&(_, f)| f).sum();
+            (Summary::from_samples(&msgs), frac)
+        };
+        let (capped, frac_c) = fold(par_map_trials(0xE8B, &format!("c{n}"), trials, |seed| {
+            grow_only(n, seed, true)
+        }));
+        let (uncapped, frac_u) = fold(par_map_trials(0xE8B, &format!("u{n}"), trials, |seed| {
+            grow_only(n, seed, false)
+        }));
+        headline_blowup = uncapped.mean / capped.mean.max(0.1);
         b.push_row(vec![
             format!("2^{}", n.trailing_zeros()),
             format!("{:.1}", capped.mean),
@@ -102,18 +104,19 @@ fn main() {
         ],
     );
     for reps in [1u32, 2] {
-        let mut stragglers = 0.0;
-        let clusters = run_trials(0xE8C, &format!("r{reps}"), trials, |seed| {
-            let (clusters, small) = one_square_iteration(1 << 12, seed, reps);
-            stragglers += small as f64;
-            clusters as f64
+        let recs = par_map_trials(0xE8C, &format!("r{reps}"), trials, |seed| {
+            one_square_iteration(1 << 12, seed, reps)
         });
+        let cluster_counts: Vec<f64> = recs.iter().map(|&(c, _)| c as f64).collect();
+        let stragglers: f64 = recs.iter().map(|&(_, s)| s as f64).sum();
+        let clusters = Summary::from_samples(&cluster_counts);
         c.push_row(vec![
             reps.to_string(),
             format!("{:.0}", clusters.mean),
             format!("{:.0}", stragglers / f64::from(trials)),
         ]);
     }
+    bench.stop();
     emit(&c, opts);
     println!();
     println!(
@@ -122,6 +125,11 @@ fn main() {
          what buys O(1) msgs/node; C shows the second ClusterPUSH is what\n\
          leaves no inactive cluster behind (paper, Lemma 6)."
     );
+    if opts.json {
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric("uncapped_backbone_blowup_largest_n", headline_blowup);
+        bench.finish();
+    }
 }
 
 /// Runs only the controlled-growth phase; `capped = false` removes the

@@ -13,11 +13,12 @@
 //! but not always, recover — quantifying how much of their optimality
 //! budget is spent on the reliable-link assumption.
 
-use gossip_bench::{emit, parse_opts, Algo};
-use gossip_harness::{run_trials, Table};
+use gossip_bench::{emit, parse_opts, Algo, BenchJson};
+use gossip_harness::{par_map_trials, Summary, Table};
 
 fn main() {
     let opts = parse_opts();
+    let mut bench = BenchJson::start("e9", opts);
     let n: usize = if opts.full { 1 << 13 } else { 1 << 11 };
     let trials = if opts.full { 12 } else { 6 };
     let losses = [0.0f64, 0.01, 0.05, 0.1, 0.2];
@@ -44,22 +45,28 @@ fn main() {
         &cols,
     );
 
+    let mut headline = (0.0f64, 0.0f64);
     for algo in algos {
         let mut row = vec![algo.name().to_string()];
         let mut rrow = vec![algo.name().to_string()];
         for &loss in &losses {
-            let mut rounds = 0.0;
-            let cov = run_trials(0xE9, &format!("{}{loss}", algo.name()), trials, |seed| {
+            let reps = par_map_trials(0xE9, &format!("{}{loss}", algo.name()), trials, |seed| {
                 let r = run_with_loss(algo, n, loss, seed);
-                rounds += r.rounds as f64;
-                r.informed as f64 / r.alive as f64
+                (r.informed as f64 / r.alive as f64, r.rounds as f64)
             });
+            let coverage: Vec<f64> = reps.iter().map(|&(c, _)| c).collect();
+            let rounds: f64 = reps.iter().map(|&(_, r)| r).sum();
+            let cov = Summary::from_samples(&coverage);
+            if algo == Algo::Cluster2 {
+                headline = (cov.mean, rounds / f64::from(trials));
+            }
             row.push(format!("{:.4}", cov.mean));
             rrow.push(format!("{:.0}", rounds / f64::from(trials)));
         }
         cov_tbl.push_row(row);
         round_tbl.push_row(rrow);
     }
+    bench.stop();
     emit(&cov_tbl, opts);
     println!();
     emit(&round_tbl, opts);
@@ -71,6 +78,12 @@ fn main() {
          consolidation phases and degrade gracefully — not catastrophically\n\
          — beyond that; reliable links are part of their optimality budget."
     );
+    if opts.json {
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric("cluster2_coverage_worst_loss", headline.0);
+        bench.metric("cluster2_mean_rounds_worst_loss", headline.1);
+        bench.finish();
+    }
 }
 
 fn run_with_loss(algo: Algo, n: usize, loss: f64, seed: u64) -> gossip_core::report::RunReport {

@@ -1,11 +1,18 @@
 //! Shared helpers for the `exp_*` experiment binaries (see
-//! EXPERIMENTS.md): algorithm registry, sweep presets and flag parsing.
+//! EXPERIMENTS.md): algorithm registry, sweep presets, flag parsing and
+//! the `BENCH_eK.json` perf-record writer.
 //!
 //! Every binary accepts `--full` for the larger grids recorded in
-//! EXPERIMENTS.md and `--csv` to emit CSV instead of markdown.
+//! EXPERIMENTS.md, `--csv` to emit CSV instead of markdown, and `--json`
+//! to additionally write a `BENCH_eK.json` perf record (wall time, worker
+//! threads, headline metrics) into the working directory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
 
 use gossip_baselines::{avin_elsasser, karp, pull, push, push_pull};
 use gossip_core::report::RunReport;
@@ -18,6 +25,8 @@ pub struct ExpOpts {
     pub full: bool,
     /// Emit CSV instead of markdown.
     pub csv: bool,
+    /// Additionally write a `BENCH_eK.json` perf record.
+    pub json: bool,
 }
 
 /// Parses the standard experiment flags from `std::env::args`.
@@ -28,10 +37,123 @@ pub fn parse_opts() -> ExpOpts {
         match a.as_str() {
             "--full" => o.full = true,
             "--csv" => o.csv = true,
+            "--json" => o.json = true,
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
     o
+}
+
+/// A `BENCH_eK.json` perf record: wall time of the experiment's compute
+/// phase, the worker-thread count it ran with, and a flat map of headline
+/// metrics (mean rounds, messages per node, speedups, …).
+///
+/// The bench trajectory accumulates one such file per experiment per run
+/// (`exp_eK --json` → `BENCH_eK.json` in the working directory), giving
+/// perf regressions a machine-readable baseline.
+#[derive(Clone, Debug)]
+pub struct BenchJson {
+    experiment: &'static str,
+    started: Instant,
+    stopped_ms: Option<f64>,
+    grid: &'static str,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchJson {
+    /// Starts the perf record (and its wall-time stopwatch) for
+    /// experiment `experiment` (e.g. `"e1"`).
+    #[must_use]
+    pub fn start(experiment: &'static str, opts: ExpOpts) -> Self {
+        BenchJson {
+            experiment,
+            started: Instant::now(),
+            stopped_ms: None,
+            grid: if opts.full { "full" } else { "default" },
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Freezes the record's `wall_ms` at the current elapsed time and
+    /// returns it. Call at the end of the compute phase so control
+    /// passes and table rendering that follow don't inflate the recorded
+    /// wall time; if never called, `wall_ms` is stamped at write time.
+    pub fn stop(&mut self) -> f64 {
+        let ms = self.elapsed_ms();
+        self.stopped_ms = Some(ms);
+        ms
+    }
+
+    /// Records one headline metric.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.push((key.into(), value));
+    }
+
+    /// Wall time since [`BenchJson::start`], in milliseconds.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Writes `BENCH_<EXPERIMENT>.json` into the working directory and
+    /// returns its path. Wall time is stamped at write time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.experiment));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.render().as_bytes())?;
+        eprintln!("wrote {}", path.display());
+        Ok(path)
+    }
+
+    /// Renders the record as a JSON document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut body = String::new();
+        body.push_str("{\n");
+        body.push_str(&format!("  \"experiment\": \"{}\",\n", self.experiment));
+        body.push_str(&format!("  \"grid\": \"{}\",\n", self.grid));
+        body.push_str(&format!(
+            "  \"threads\": {},\n",
+            gossip_harness::default_threads()
+        ));
+        body.push_str(&format!(
+            "  \"wall_ms\": {},\n",
+            json_f64(self.stopped_ms.unwrap_or_else(|| self.elapsed_ms()))
+        ));
+        body.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("\n    \"{k}\": {}", json_f64(*v)));
+        }
+        if !self.metrics.is_empty() {
+            body.push('\n');
+            body.push_str("  ");
+        }
+        body.push_str("}\n}\n");
+        body
+    }
+
+    /// Writes the record, panicking with a clear message on I/O failure
+    /// (the binaries have no better recovery than telling the operator).
+    pub fn finish(&self) {
+        self.write().expect("failed to write BENCH json record");
+    }
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Builds a table header: fixed prefix columns followed by one `n=2^k`
@@ -165,5 +287,36 @@ mod tests {
     fn names_are_unique() {
         let names: std::collections::BTreeSet<_> = Algo::all().iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn bench_json_renders_valid_shape() {
+        let mut b = BenchJson::start("e0", ExpOpts::default());
+        b.metric("mean_rounds", 12.5);
+        b.metric("msgs_per_node", 3.0);
+        let doc = b.render();
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.contains("\"experiment\": \"e0\""));
+        assert!(doc.contains("\"grid\": \"default\""));
+        assert!(doc.contains("\"mean_rounds\": 12.5"));
+        assert!(doc.contains("\"msgs_per_node\": 3"));
+        assert!(doc.contains("\"wall_ms\": "));
+        assert!(doc.ends_with("}\n}\n"));
+        // Balanced braces — a cheap well-formedness proxy without a JSON
+        // parser in the dependency set.
+        let open = doc.matches('{').count();
+        assert_eq!(open, doc.matches('}').count());
+        assert_eq!(open, 2, "root object + metrics object");
+    }
+
+    #[test]
+    fn non_finite_metrics_become_null() {
+        let mut b = BenchJson::start("e0", ExpOpts::default());
+        b.metric("bad", f64::NAN);
+        b.metric("worse", f64::INFINITY);
+        let doc = b.render();
+        assert!(doc.contains("\"bad\": null"));
+        assert!(doc.contains("\"worse\": null"));
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
     }
 }

@@ -15,7 +15,10 @@ pub mod table;
 
 pub use fit::{fit_ratio, ScalingFit, ScalingLaw};
 pub use plot::AsciiPlot;
-pub use runner::run_trials;
+pub use runner::{
+    default_threads, par_map_on, par_map_trials, par_map_trials_on, run_trials, run_trials_on,
+    run_trials_seq,
+};
 pub use stats::Summary;
 pub use sweep::{geometric_ns, trial_seeds};
 pub use table::Table;

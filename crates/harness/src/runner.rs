@@ -1,17 +1,138 @@
-//! Multi-trial runner: maps a seeded run function over trial seeds and
-//! summarizes a metric.
+//! Multi-trial runner: maps a seeded run function over trial seeds —
+//! in parallel across worker threads by default — and summarizes a
+//! metric.
+//!
+//! Trials are independently seeded via [`trial_seeds`], so they are
+//! embarrassingly parallel: the runner chunks trial *indices* across
+//! `GOSSIP_THREADS` scoped worker threads and reassembles results in seed
+//! order, making the parallel output **bit-identical** to the sequential
+//! one (`tests/parallel_equivalence.rs` proves it for every experiment
+//! label at 1, 2, 4 and 7 threads). No thread-pool crate is involved —
+//! plain `std::thread::scope`.
 
 use crate::stats::Summary;
 use crate::sweep::trial_seeds;
 
-/// Runs `trials` seeded executions of `f` and summarizes the metric it
-/// returns.
+/// Number of worker threads the parallel runner uses by default: the
+/// `GOSSIP_THREADS` environment variable when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`].
+///
+/// Resolved once per process (so an invalid value warns once, not once
+/// per `run_trials` call); pass an explicit count to the `*_on` variants
+/// to vary the thread count within a process.
+#[must_use]
+pub fn default_threads() -> usize {
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| match std::env::var("GOSSIP_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(t) if t >= 1 => t,
+            _ => {
+                eprintln!("ignoring invalid GOSSIP_THREADS={v:?} (want a positive integer)");
+                available_parallelism()
+            }
+        },
+        Err(_) => available_parallelism(),
+    })
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over arbitrary inputs on `threads` scoped worker threads,
+/// returning outputs in input order.
+///
+/// Inputs are split into `threads` contiguous chunks (one worker per
+/// chunk); each worker writes into its own slice of the output, so the
+/// result is independent of scheduling — element `i` of the output is
+/// always `f(&items[i])`.
+pub fn par_map_on<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("scoped workers fill every slot"))
+        .collect()
+}
+
+/// Maps `f` over the trial seeds of `(master_seed, label, trials)` on
+/// `threads` worker threads; results come back in seed order.
+pub fn par_map_trials_on<R: Send>(
+    threads: usize,
+    master_seed: u64,
+    label: &str,
+    trials: u32,
+    f: impl Fn(u64) -> R + Sync,
+) -> Vec<R> {
+    let seeds = trial_seeds(master_seed, label, trials);
+    par_map_on(threads, &seeds, |&seed| f(seed))
+}
+
+/// [`par_map_trials_on`] with the default thread count (`GOSSIP_THREADS`
+/// or the machine's available parallelism).
+pub fn par_map_trials<R: Send>(
+    master_seed: u64,
+    label: &str,
+    trials: u32,
+    f: impl Fn(u64) -> R + Sync,
+) -> Vec<R> {
+    par_map_trials_on(default_threads(), master_seed, label, trials, f)
+}
+
+/// Runs `trials` seeded executions of `f` on `threads` worker threads and
+/// summarizes the metric it returns.
+#[must_use]
+pub fn run_trials_on(
+    threads: usize,
+    master_seed: u64,
+    label: &str,
+    trials: u32,
+    f: impl Fn(u64) -> f64 + Sync,
+) -> Summary {
+    let samples = par_map_trials_on(threads, master_seed, label, trials, f);
+    Summary::from_samples(&samples)
+}
+
+/// Runs `trials` seeded executions of `f` in parallel and summarizes the
+/// metric it returns.
 ///
 /// `f` receives the trial seed; experiments thread it into their config.
-/// Trials run sequentially — runs are already deterministic per seed, and
-/// the experiment binaries parallelize across *processes* when needed.
+/// Trials fan out across [`default_threads`] workers and are reassembled
+/// in seed order, so the [`Summary`] is bit-identical to
+/// [`run_trials_seq`].
 #[must_use]
 pub fn run_trials(
+    master_seed: u64,
+    label: &str,
+    trials: u32,
+    f: impl Fn(u64) -> f64 + Sync,
+) -> Summary {
+    run_trials_on(default_threads(), master_seed, label, trials, f)
+}
+
+/// Sequential escape hatch: runs the trials one by one on the calling
+/// thread. Accepts `FnMut`, so side-channel accumulation in the closure
+/// is allowed here (the parallel paths require `Fn + Sync` instead —
+/// return a per-trial record and fold it afterwards).
+#[must_use]
+pub fn run_trials_seq(
     master_seed: u64,
     label: &str,
     trials: u32,
@@ -40,5 +161,48 @@ mod tests {
         let a = run_trials(2, "d", 5, |seed| seed as f64);
         let b = run_trials(2, "d", 5, |seed| seed as f64);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        // f is deliberately order-sensitive in floating point (powers
+        // spanning many magnitudes) so a reassembly bug would show.
+        let f = |seed: u64| (seed % 13) as f64 * 1e-7 + (seed % 3) as f64 * 1e9;
+        let seq = run_trials_seq(3, "eq", 17, f);
+        for threads in [1usize, 2, 4, 7, 32] {
+            assert_eq!(
+                run_trials_on(threads, 3, "eq", 17, f),
+                seq,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 3, 8] {
+            let out = par_map_on(threads, &items, |&x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let s = run_trials_on(64, 9, "tiny", 2, |seed| seed as f64);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn zero_trials_yield_default_summary() {
+        assert_eq!(run_trials(1, "none", 0, |_| 0.0), Summary::default());
+        assert_eq!(run_trials_seq(1, "none", 0, |_| 0.0), Summary::default());
+    }
+
+    #[test]
+    fn records_come_back_in_seed_order() {
+        let seeds = crate::sweep::trial_seeds(11, "rec", 9);
+        let got = par_map_trials_on(4, 11, "rec", 9, |seed| seed);
+        assert_eq!(got, seeds);
     }
 }

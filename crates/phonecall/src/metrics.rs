@@ -78,12 +78,16 @@ impl Metrics {
         self.pull_replies += other.pull_replies;
         self.max_fan_in = self.max_fan_in.max(other.max_fan_in);
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
-        self.per_round.extend(other.per_round.iter().cloned());
+        self.per_round.extend(other.per_round.iter().copied());
     }
 }
 
 /// Accounting for one synchronous round.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Deliberately `Copy` (five plain counters): the engine appends one per
+/// round to [`Metrics::per_round`] and returns it by value, and neither
+/// costs an allocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundStats {
     /// Round number (0-based within the run).
     pub round: u64,

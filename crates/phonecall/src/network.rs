@@ -18,6 +18,9 @@
 //! traffic happen strictly after every action and response of the round is
 //! fixed (synchrony).
 
+use std::any::Any;
+use std::fmt;
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -61,12 +64,76 @@ pub struct Network<S> {
     loss: f64,
     // Scratch buffers reused across rounds to avoid per-round allocation.
     fan_in: Vec<u32>,
+    scratch: ScratchCell,
 }
 
-/// A resolved initiated communication, internal to round execution.
-enum Resolved<M> {
-    Push { src: NodeIdx, dst: NodeIdx, msg: M },
-    Pull { src: NodeIdx, dst: NodeIdx },
+/// Per-round scratch for one message type `M`: the resolved pushes and
+/// pulls of the current round plus the pull responses, all reused across
+/// rounds so the steady-state round loop performs no allocation.
+struct Scratch<M> {
+    /// Resolved pushes: `(src, dst, payload)`. Payloads are *moved* to the
+    /// recipient on delivery — a push is delivered at most once, so the
+    /// engine never clones a message.
+    pushes: Vec<(NodeIdx, NodeIdx, M)>,
+    /// Resolved pulls: `(src, dst)`.
+    pulls: Vec<(NodeIdx, NodeIdx)>,
+    /// Pull responses, parallel to `pulls`.
+    responses: Vec<Option<M>>,
+}
+
+impl<M> Scratch<M> {
+    fn new() -> Self {
+        Scratch {
+            pushes: Vec::new(),
+            pulls: Vec::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.pushes.clear();
+        self.pulls.clear();
+        self.responses.clear();
+    }
+}
+
+/// Type-erased holder for the [`Scratch`] buffers.
+///
+/// `round` is generic over the message type `M` while the network is not,
+/// so the buffers are stashed as `dyn Any` between rounds: consecutive
+/// rounds with the same `M` (the hot path — every algorithm loop) reuse
+/// the exact same allocations, and a phase switching to a different
+/// message type transparently starts a fresh set.
+#[derive(Default)]
+struct ScratchCell(Option<Box<dyn Any>>);
+
+impl ScratchCell {
+    /// Takes the buffers out for the duration of a round (re-typing or
+    /// creating them as needed), leaving the cell empty.
+    fn take<M: 'static>(&mut self) -> Box<Scratch<M>> {
+        match self.0.take().map(Box::<dyn Any>::downcast::<Scratch<M>>) {
+            Some(Ok(mut scratch)) => {
+                scratch.clear();
+                scratch
+            }
+            _ => Box::new(Scratch::new()),
+        }
+    }
+
+    /// Returns the buffers after the round.
+    fn put<M: 'static>(&mut self, scratch: Box<Scratch<M>>) {
+        self.0 = Some(scratch);
+    }
+}
+
+impl fmt::Debug for ScratchCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ScratchCell(warm)"
+        } else {
+            "ScratchCell(empty)"
+        })
+    }
 }
 
 impl<S> Network<S> {
@@ -103,6 +170,7 @@ impl<S> Network<S> {
             trace: Trace::disabled(),
             loss: 0.0,
             fan_in: vec![0; n],
+            scratch: ScratchCell::default(),
         }
     }
 
@@ -128,6 +196,7 @@ impl<S> Network<S> {
             trace: Trace::disabled(),
             loss: 0.0,
             fan_in: vec![0; n],
+            scratch: ScratchCell::default(),
         }
     }
 
@@ -258,7 +327,13 @@ impl<S> Network<S> {
     ///
     /// Returns this round's [`RoundStats`] (also appended to
     /// [`Metrics::per_round`]).
-    pub fn round<M: Wire + Clone>(
+    ///
+    /// The round loop is allocation-free in steady state: the resolved
+    /// pushes/pulls and the response buffer live in scratch storage reused
+    /// across rounds (per message type `M`), push payloads are moved — not
+    /// cloned — to their recipient, and per-round stats are `Copy`. Only
+    /// the `per_round` log grows (amortized; see [`Self::reserve_rounds`]).
+    pub fn round<M: Wire + 'static>(
         &mut self,
         mut decide: impl FnMut(NodeCtx<'_, S>, &mut SmallRng) -> Action<M>,
         mut respond: impl FnMut(&S) -> Option<M>,
@@ -270,9 +345,9 @@ impl<S> Network<S> {
             ..Default::default()
         };
         self.fan_in.iter_mut().for_each(|c| *c = 0);
+        let mut scratch = self.scratch.take::<M>();
 
         // Phase 1: collect and resolve actions.
-        let mut resolved: Vec<Resolved<M>> = Vec::new();
         for i in 0..n {
             if !self.alive[i] {
                 continue;
@@ -307,8 +382,8 @@ impl<S> Network<S> {
                 },
             };
             match action {
-                Action::Push { msg, .. } => resolved.push(Resolved::Push { src: idx, dst, msg }),
-                Action::Pull { .. } => resolved.push(Resolved::Pull { src: idx, dst }),
+                Action::Push { msg, .. } => scratch.pushes.push((idx, dst, msg)),
+                Action::Pull { .. } => scratch.pulls.push((idx, dst)),
                 Action::Idle => unreachable!(),
             }
         }
@@ -317,118 +392,122 @@ impl<S> Network<S> {
         // (address-oblivious; one response per responder per round). A
         // lost request or lost reply surfaces identically to the puller:
         // no response arrives.
-        let mut responses: Vec<Option<(NodeIdx, Option<M>)>> = Vec::new();
-        for r in &resolved {
-            if let Resolved::Pull { dst, .. } = r {
-                let d = dst.as_usize();
-                let lost = self.loss > 0.0
-                    && (self.rng.gen_bool(self.loss) || self.rng.gen_bool(self.loss));
-                let resp = if self.alive[d] && !lost {
-                    respond(&self.states[d])
-                } else {
-                    None
-                };
-                responses.push(Some((*dst, resp)));
+        for &(_, dst) in &scratch.pulls {
+            let d = dst.as_usize();
+            let lost =
+                self.loss > 0.0 && (self.rng.gen_bool(self.loss) || self.rng.gen_bool(self.loss));
+            let resp = if self.alive[d] && !lost {
+                respond(&self.states[d])
             } else {
-                responses.push(None);
-            }
+                None
+            };
+            scratch.responses.push(resp);
         }
 
-        // Phase 3: deliver pushes.
-        for r in &resolved {
-            if let Resolved::Push { src, dst, msg } = r {
-                let d = dst.as_usize();
-                let bits = self.header_bits + msg.size_bits();
-                stats.messages += 1;
-                stats.bits += bits;
-                self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
-                self.metrics.pushes += 1;
-                self.metrics.payload_messages += 1;
-                self.fan_in[d] += 1;
-                let lost = self.loss > 0.0 && self.rng.gen_bool(self.loss);
-                if self.alive[d] && !lost {
-                    self.trace.record(Event {
-                        round: self.round,
-                        from: *src,
-                        to: *dst,
-                        kind: EventKind::Push,
-                    });
-                    deliver(
-                        &mut self.states[d],
-                        Delivery::Push {
-                            from: self.ids.id_of(*src),
-                            msg: msg.clone(),
-                        },
-                    );
-                } else {
-                    self.trace.record(Event {
-                        round: self.round,
-                        from: *src,
-                        to: *dst,
-                        kind: EventKind::DroppedDead,
-                    });
-                }
+        // Phase 3: deliver pushes. Payloads are moved out of the scratch
+        // buffer (capacity is retained for the next round).
+        for (src, dst, msg) in scratch.pushes.drain(..) {
+            let d = dst.as_usize();
+            let bits = self.header_bits + msg.size_bits();
+            stats.messages += 1;
+            stats.bits += bits;
+            self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+            self.metrics.pushes += 1;
+            self.metrics.payload_messages += 1;
+            self.fan_in[d] += 1;
+            let lost = self.loss > 0.0 && self.rng.gen_bool(self.loss);
+            if self.alive[d] && !lost {
+                self.trace.record(Event {
+                    round: self.round,
+                    from: src,
+                    to: dst,
+                    kind: EventKind::Push,
+                });
+                deliver(
+                    &mut self.states[d],
+                    Delivery::Push {
+                        from: self.ids.id_of(src),
+                        msg,
+                    },
+                );
+            } else {
+                self.trace.record(Event {
+                    round: self.round,
+                    from: src,
+                    to: dst,
+                    kind: EventKind::DroppedDead,
+                });
             }
         }
 
         // Phase 4: deliver pull replies, then pulled-by notifications.
-        for (r, resp) in resolved.iter().zip(responses) {
-            if let Resolved::Pull { src, dst } = r {
-                let (_, reply) = resp.expect("pull entries carry responses");
-                // The request itself: header-only message.
+        let sc = &mut *scratch;
+        for (&(src, dst), reply) in sc.pulls.iter().zip(sc.responses.drain(..)) {
+            // The request itself: header-only message.
+            stats.messages += 1;
+            stats.bits += self.header_bits;
+            self.metrics.pull_requests += 1;
+            self.fan_in[dst.as_usize()] += 1;
+            self.trace.record(Event {
+                round: self.round,
+                from: src,
+                to: dst,
+                kind: EventKind::PullRequest,
+            });
+            if let Some(msg) = reply {
+                let bits = self.header_bits + msg.size_bits();
                 stats.messages += 1;
-                stats.bits += self.header_bits;
-                self.metrics.pull_requests += 1;
-                self.fan_in[dst.as_usize()] += 1;
+                stats.bits += bits;
+                self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                self.metrics.pull_replies += 1;
+                self.metrics.payload_messages += 1;
                 self.trace.record(Event {
                     round: self.round,
-                    from: *src,
-                    to: *dst,
-                    kind: EventKind::PullRequest,
+                    from: dst,
+                    to: src,
+                    kind: EventKind::PullReply,
                 });
-                if let Some(msg) = reply {
-                    let bits = self.header_bits + msg.size_bits();
-                    stats.messages += 1;
-                    stats.bits += bits;
-                    self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
-                    self.metrics.pull_replies += 1;
-                    self.metrics.payload_messages += 1;
-                    self.trace.record(Event {
-                        round: self.round,
-                        from: *dst,
-                        to: *src,
-                        kind: EventKind::PullReply,
-                    });
-                    deliver(
-                        &mut self.states[src.as_usize()],
-                        Delivery::PullReply {
-                            from: self.ids.id_of(*dst),
-                            msg,
-                        },
-                    );
-                }
+                deliver(
+                    &mut self.states[src.as_usize()],
+                    Delivery::PullReply {
+                        from: self.ids.id_of(dst),
+                        msg,
+                    },
+                );
             }
         }
-        for r in &resolved {
-            if let Resolved::Pull { src, dst } = r {
-                let d = dst.as_usize();
-                if self.alive[d] {
-                    deliver(
-                        &mut self.states[d],
-                        Delivery::PulledBy(self.ids.id_of(*src)),
-                    );
-                }
+        for &(src, dst) in &scratch.pulls {
+            let d = dst.as_usize();
+            if self.alive[d] {
+                deliver(&mut self.states[d], Delivery::PulledBy(self.ids.id_of(src)));
             }
         }
+        self.scratch.put(scratch);
 
         stats.max_fan_in = u64::from(self.fan_in.iter().max().copied().unwrap_or(0));
         self.metrics.rounds += 1;
         self.metrics.messages += stats.messages;
         self.metrics.bits += stats.bits;
         self.metrics.max_fan_in = self.metrics.max_fan_in.max(stats.max_fan_in);
-        self.metrics.per_round.push(stats.clone());
+        self.metrics.per_round.push(stats);
         self.round += 1;
         stats
+    }
+
+    /// Pre-reserves capacity for `rounds` additional entries of the
+    /// per-round metrics log, making the round loop strictly
+    /// allocation-free (rather than amortized) for that many rounds.
+    pub fn reserve_rounds(&mut self, rounds: usize) {
+        self.metrics.per_round.reserve(rounds);
+    }
+
+    /// The per-node fan-in counters of the most recently executed round:
+    /// for each node, the number of communications it participated in
+    /// (initiations plus incoming pushes and pull requests). All zeros
+    /// before the first round.
+    #[must_use]
+    pub fn last_fan_in(&self) -> &[u32] {
+        &self.fan_in
     }
 }
 

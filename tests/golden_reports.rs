@@ -1,0 +1,142 @@
+//! Golden-report regression tests: a compact digest of [`RunReport`]
+//! (rounds, messages, bits, informed count) is pinned for every algorithm
+//! at fixed `(n, seed)` grid points.
+//!
+//! All randomness flows from the run seed, so these digests are exact —
+//! an engine or algorithm refactor that silently changes behavior (an
+//! extra RNG draw, a reordered delivery, a different accounting charge)
+//! fails loudly here rather than surfacing as a subtly shifted
+//! experiment table months later.
+//!
+//! To regenerate after an *intentional* behavior change, run
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_reports -- --nocapture
+//! ```
+//!
+//! and paste the printed rows over the `GOLDEN` table below. Do this only
+//! when the change is meant to alter traffic patterns; the whole point of
+//! the table is to make that decision explicit.
+
+use gossip_bench::Algo;
+
+/// One pinned grid point: (algorithm, n, seed, rounds, messages, bits,
+/// informed).
+type Golden = (&'static str, usize, u64, u64, u64, u64, usize);
+
+/// The pinned digests, generated from the seed engine (PR 2) at the grid
+/// `n ∈ {64, 256, 1024} × seed ∈ {1, 7}` for every compared algorithm.
+#[rustfmt::skip]
+const GOLDEN: &[Golden] = &[
+    // (algo, n, seed, rounds, messages, bits, informed)
+    ("Cluster2", 64, 1, 75, 2380, 94659, 64),
+    ("Cluster2", 64, 7, 75, 1994, 81427, 64),
+    ("Cluster2", 256, 1, 75, 7172, 373439, 256),
+    ("Cluster2", 256, 7, 75, 7291, 380157, 256),
+    ("Cluster2", 1024, 1, 96, 27944, 1765062, 1024),
+    ("Cluster2", 1024, 7, 96, 27166, 1727236, 1024),
+    ("Cluster1", 64, 1, 49, 2892, 113734, 64),
+    ("Cluster1", 64, 7, 49, 3029, 118818, 64),
+    ("Cluster1", 256, 1, 49, 11740, 587735, 256),
+    ("Cluster1", 256, 7, 49, 11169, 560303, 256),
+    ("Cluster1", 1024, 1, 61, 59151, 3599080, 1024),
+    ("Cluster1", 1024, 7, 61, 58140, 3605204, 1024),
+    ("AvinElsasser", 64, 1, 44, 1101, 168101, 64),
+    ("AvinElsasser", 64, 7, 44, 1102, 170011, 64),
+    ("AvinElsasser", 256, 1, 52, 4948, 808193, 256),
+    ("AvinElsasser", 256, 7, 52, 4911, 817647, 256),
+    ("AvinElsasser", 1024, 1, 46, 19025, 3071051, 1024),
+    ("AvinElsasser", 1024, 7, 46, 18825, 3075447, 1024),
+    ("Karp", 64, 1, 22, 552, 97632, 64),
+    ("Karp", 64, 7, 22, 560, 99840, 64),
+    ("Karp", 256, 1, 26, 2721, 503808, 256),
+    ("Karp", 256, 7, 26, 2721, 479904, 256),
+    ("Karp", 1024, 1, 29, 11940, 1833792, 1024),
+    ("Karp", 1024, 7, 29, 11973, 1919784, 1024),
+    ("PushPull", 64, 1, 7, 488, 77664, 64),
+    ("PushPull", 64, 7, 6, 432, 59904, 64),
+    ("PushPull", 256, 1, 8, 2209, 339968, 256),
+    ("PushPull", 256, 7, 8, 2209, 316064, 256),
+    ("PushPull", 1024, 1, 10, 10916, 1497920, 1024),
+    ("PushPull", 1024, 7, 10, 10949, 1583912, 1024),
+    ("Push", 64, 1, 10, 254, 79248, 64),
+    ("Push", 64, 7, 11, 323, 100776, 64),
+    ("Push", 256, 1, 13, 1251, 400320, 256),
+    ("Push", 256, 7, 13, 1282, 410240, 256),
+    ("Push", 1024, 1, 17, 7227, 2370456, 1024),
+    ("Push", 1024, 7, 19, 9085, 2979880, 1024),
+    ("Pull", 64, 1, 9, 467, 29352, 64),
+    ("Pull", 64, 7, 10, 526, 30768, 64),
+    ("Pull", 256, 1, 12, 2374, 149408, 256),
+    ("Pull", 256, 7, 11, 2186, 143392, 256),
+    ("Pull", 1024, 1, 16, 14074, 857584, 1024),
+    ("Pull", 1024, 7, 14, 12030, 775824, 1024),
+];
+
+fn grid() -> Vec<(Algo, usize, u64)> {
+    let mut g = Vec::new();
+    for algo in Algo::all() {
+        for n in [64usize, 256, 1024] {
+            for seed in [1u64, 7] {
+                g.push((algo, n, seed));
+            }
+        }
+    }
+    g
+}
+
+fn digest(algo: Algo, n: usize, seed: u64) -> Golden {
+    let r = algo.run(n, seed);
+    (
+        algo.name(),
+        n,
+        seed,
+        r.rounds,
+        r.messages,
+        r.bits,
+        r.informed,
+    )
+}
+
+#[test]
+fn run_reports_match_golden_digests() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        for (algo, n, seed) in grid() {
+            let (name, n, seed, rounds, messages, bits, informed) = digest(algo, n, seed);
+            println!("    (\"{name}\", {n}, {seed}, {rounds}, {messages}, {bits}, {informed}),");
+        }
+        return;
+    }
+    assert_eq!(
+        GOLDEN.len(),
+        grid().len(),
+        "golden table out of sync with the grid; regenerate with GOLDEN_REGEN=1"
+    );
+    for (&(name, n, seed, rounds, messages, bits, informed), (algo, gn, gseed)) in
+        GOLDEN.iter().zip(grid())
+    {
+        assert_eq!((name, n, seed), (algo.name(), gn, gseed), "grid drift");
+        let got = digest(algo, n, seed);
+        assert_eq!(
+            got,
+            (name, n, seed, rounds, messages, bits, informed),
+            "{name} at (n={n}, seed={seed}) drifted from its golden digest"
+        );
+    }
+}
+
+#[test]
+fn golden_runs_all_succeed() {
+    // The digests above must describe *successful* broadcasts; a pinned
+    // failure would silently weaken every other experiment.
+    for (algo, n, seed) in grid() {
+        let r = algo.run(n, seed);
+        assert!(
+            r.success,
+            "{} failed at (n={n}, seed={seed}): {}/{}",
+            algo.name(),
+            r.informed,
+            r.alive
+        );
+    }
+}

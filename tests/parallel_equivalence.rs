@@ -1,0 +1,83 @@
+//! The parallel runner's determinism contract: `run_trials` (fan-out
+//! across scoped worker threads) produces **bit-identical** `Summary`
+//! values to `run_trials_seq` — for real experiment workloads, at every
+//! thread count we care about (1, 2, 4 and 7, including counts that
+//! don't divide the trial count evenly).
+//!
+//! Trials are independently seeded via `trial_seeds` and reassembled in
+//! seed order, so this must hold exactly, not approximately; any
+//! `assert_eq!` failure here means the parallel path reordered samples
+//! or shared RNG state across trials.
+
+use gossip_bench::Algo;
+use gossip_harness::{run_trials_on, run_trials_seq, Summary};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+#[test]
+fn every_algorithm_label_is_thread_count_invariant() {
+    // Mirrors the E1 workload: per-algorithm labels under one master
+    // seed, the metric is the report's round count.
+    let n = 256;
+    let trials = 9; // deliberately not divisible by 2, 4, or 7
+    for algo in Algo::all() {
+        let seq = run_trials_seq(0xE1, algo.name(), trials, |seed| {
+            algo.run(n, seed).rounds as f64
+        });
+        for threads in THREAD_COUNTS {
+            let par = run_trials_on(threads, 0xE1, algo.name(), trials, |seed| {
+                algo.run(n, seed).rounds as f64
+            });
+            assert_eq!(
+                par,
+                seq,
+                "{} summary diverged at {threads} threads",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn float_sensitive_metrics_are_thread_count_invariant() {
+    // Messages-per-node means exercise non-trivial floating point; a
+    // reassembly-order bug would change the sum's rounding.
+    let seq = run_trials_seq(0xE2, "Cluster2", 11, |seed| {
+        Algo::Cluster2.run(512, seed).messages_per_node()
+    });
+    assert!(seq.mean > 0.0);
+    for threads in THREAD_COUNTS {
+        let par = run_trials_on(threads, 0xE2, "Cluster2", 11, |seed| {
+            Algo::Cluster2.run(512, seed).messages_per_node()
+        });
+        assert_eq!(par, seq, "diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn gossip_threads_env_contract_is_documented_default() {
+    // The runner must not *require* the env var: with nothing set it
+    // falls back to available parallelism and still produces the
+    // sequential summary.
+    let seq = run_trials_seq(7, "env", 5, |seed| (seed % 97) as f64);
+    let par = gossip_harness::run_trials(7, "env", 5, |seed| (seed % 97) as f64);
+    assert_eq!(par, seq);
+    assert!(gossip_harness::default_threads() >= 1);
+}
+
+#[test]
+fn empty_and_single_trial_edges_match() {
+    for trials in [0u32, 1] {
+        let seq = run_trials_seq(3, "edge", trials, |seed| seed as f64);
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                run_trials_on(threads, 3, "edge", trials, |seed| seed as f64),
+                seq
+            );
+        }
+    }
+    assert_eq!(
+        run_trials_seq(3, "edge", 0, |seed| seed as f64),
+        Summary::default()
+    );
+}

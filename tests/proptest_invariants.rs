@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) on the core invariants: clustering
 //! well-formedness under arbitrary primitive sequences, resize bounds,
-//! merge conservation, engine determinism and metrics consistency, and
+//! merge conservation, engine determinism and metrics consistency,
+//! address-obliviousness and fan-in accounting of the round engine, and
 //! the lower-bound graph machinery.
 
 use optimal_gossip::core::primitives::{
@@ -211,6 +212,102 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Address-obliviousness (the paper's structural model restriction,
+    /// enforced by the `decide`/`respond` split): permuting the node wire
+    /// IDs never changes pull responses. Two networks whose nodes hold
+    /// identical algorithm states but whose wire IDs are drawn from
+    /// different seeds must answer a pull of the *same underlying node*
+    /// with the *same payload*.
+    #[test]
+    fn pull_responses_are_address_oblivious(
+        n in 2usize..128,
+        seed_a in 0u64..1000,
+        perm_shift in 1u64..1000,
+        k in 1u32..128,
+    ) {
+        use phonecall::{Action, Delivery, Target};
+
+        let k = u64::from(k) % n as u64;
+        let seed_b = seed_a + perm_shift; // a different ID permutation
+        let pull_target = |net_seed: u64| -> Option<u64> {
+            // State: the node's dense index (the "algorithm state" the
+            // response may legitimately depend on) plus the puller's inbox.
+            #[derive(Clone)]
+            struct St { val: u64, got: Option<u64> }
+            let mut net: Network<St> =
+                Network::with_state_fn(n, net_seed, |idx, _id| St { val: u64::from(idx.0), got: None });
+            let target_id = net.id_of(NodeIdx(k as u32));
+            net.round(
+                |ctx, _rng| {
+                    if ctx.idx.0 == 0 {
+                        Action::<u64>::Pull { to: Target::Direct(target_id) }
+                    } else {
+                        Action::Idle
+                    }
+                },
+                |s| Some(s.val),
+                |s, d| {
+                    if let Delivery::PullReply { msg, .. } = d {
+                        s.got = Some(msg);
+                    }
+                },
+            );
+            net.states()[0].got
+        };
+        let a = pull_target(seed_a);
+        let b = pull_target(seed_b);
+        prop_assert_eq!(a, b, "response depended on the wire-ID permutation");
+        if k == 0 {
+            // Self-pull: node 0 pulls itself; the reply is its own value.
+            prop_assert_eq!(a, Some(0));
+        } else {
+            prop_assert_eq!(a, Some(k), "pull must return the target's state");
+        }
+    }
+
+    /// Fan-in accounting: within one round, the per-node fan-in counters
+    /// sum to the initiations plus the communications that arrived at a
+    /// target (push deliveries and pull requests) — nothing is double- or
+    /// under-charged.
+    #[test]
+    fn fan_in_sums_to_deliveries(n in 2usize..200, seed in 0u64..1000, mix in 0u32..3) {
+        use phonecall::{Action, Delivery, Target};
+
+        #[derive(Clone, Default)]
+        struct St { pushes: u64, pulled_by: u64 }
+        let mut net: Network<St> = Network::new(n, seed);
+        let stats = net.round(
+            |ctx, _rng| {
+                // A seeded mix of pushes, pulls and idles (the `mix`
+                // parameter shifts the blend across cases).
+                match (phonecall::derive_seed(seed, u64::from(ctx.idx.0)) as u32 + mix) % 3 {
+                    0 => Action::Push { to: Target::Random, msg: 7u64 },
+                    1 => Action::<u64>::Pull { to: Target::Random },
+                    _ => Action::Idle,
+                }
+            },
+            |_s| Some(1u64),
+            |s, d| match d {
+                Delivery::Push { .. } => s.pushes += 1,
+                Delivery::PulledBy(_) => s.pulled_by += 1,
+                Delivery::PullReply { .. } => {}
+            },
+        );
+        let fan_sum: u64 = net.last_fan_in().iter().map(|&c| u64::from(c)).sum();
+        let deliveries: u64 = net
+            .states()
+            .iter()
+            .map(|s| s.pushes + s.pulled_by)
+            .sum();
+        // All nodes alive, no loss: every resolved communication lands.
+        prop_assert_eq!(fan_sum, stats.initiators + deliveries);
+        // Cross-check against the round's message accounting: fan-in
+        // charges initiations + pushes + pull requests, never replies.
+        let m = net.metrics();
+        prop_assert_eq!(fan_sum, stats.initiators + m.pushes + m.pull_requests);
+        prop_assert_eq!(u64::from(net.last_fan_in().iter().copied().max().unwrap_or(0)), stats.max_fan_in);
     }
 
     /// Failure plans: random plans have exactly the requested size and
