@@ -25,7 +25,9 @@ pub mod name_dropper;
 pub mod pull;
 pub mod push;
 pub mod push_pull;
+pub mod registry;
 pub mod tree;
 
 pub use common::{BaselineMsg, RumorNode};
 pub use gossip_core::CommonConfig;
+pub use registry::UnknownAlgorithm;

@@ -63,9 +63,54 @@ pub enum Topology {
 /// ```
 #[must_use]
 pub fn run(n: usize, topology: Topology, cfg: &CommonConfig) -> DiscoveryReport {
+    let net = run_net(n, topology, cfg);
+    let m = net.metrics();
+    DiscoveryReport {
+        n,
+        rounds: m.rounds,
+        messages: m.messages,
+        bits: m.bits,
+        complete: is_complete(&net),
+    }
+}
+
+/// Runs Name-Dropper and reports it in the common
+/// [`RunReport`](gossip_core::RunReport) shape
+/// (for the algorithm registry): `informed` counts nodes whose knowledge
+/// is complete (they know all `n` IDs) and `success` means discovery
+/// finished — every node knows every other.
+#[must_use]
+pub fn run_report(n: usize, topology: Topology, cfg: &CommonConfig) -> gossip_core::RunReport {
+    use gossip_core::report::{ClusteringStats, RunReport};
+    let net = run_net(n, topology, cfg);
+    let m = net.metrics();
+    let informed = net.states().iter().filter(|s| s.known.len() == n).count();
+    RunReport {
+        n,
+        alive: net.alive_count(),
+        rounds: m.rounds,
+        messages: m.messages,
+        payload_messages: m.payload_messages,
+        bits: m.bits,
+        max_fan_in: m.max_fan_in,
+        max_message_bits: m.max_message_bits,
+        informed,
+        success: is_complete(&net),
+        clustering: ClusteringStats::default(),
+        phases: Vec::new(),
+    }
+}
+
+fn is_complete(net: &Network<DiscoveryNode>) -> bool {
+    let n = net.len();
+    net.states().iter().all(|s| s.known.len() == n)
+}
+
+/// The shared discovery loop behind [`run`] and [`run_report`].
+fn run_net(n: usize, topology: Topology, cfg: &CommonConfig) -> Network<DiscoveryNode> {
     assert!(n >= 2, "discovery needs at least two nodes");
     let mut net: Network<DiscoveryNode> = Network::new(n, cfg.seed);
-    let id_bits = 2 * phonecall::header_bits(n) / 4;
+    let id_bits = phonecall::id_bits(n);
 
     // Seed the initial knowledge graph.
     let mut seed_rng = phonecall::rng_from_seed(phonecall::derive_seed(cfg.seed, 77));
@@ -88,9 +133,7 @@ pub fn run(n: usize, topology: Topology, cfg: &CommonConfig) -> DiscoveryReport 
 
     let l = gossip_core::config::log2n(n);
     let cap = (4.0 * l * l).ceil() as u64 + 40;
-    let complete_at =
-        |net: &Network<DiscoveryNode>| net.states().iter().all(|s| s.known.len() == n);
-    while !complete_at(&net) && net.round_number() < cap {
+    while !is_complete(&net) && net.round_number() < cap {
         net.round(
             |ctx, rng| {
                 let known: Vec<NodeId> = ctx
@@ -124,15 +167,7 @@ pub fn run(n: usize, topology: Topology, cfg: &CommonConfig) -> DiscoveryReport 
             },
         );
     }
-
-    let m = net.metrics();
-    DiscoveryReport {
-        n,
-        rounds: m.rounds,
-        messages: m.messages,
-        bits: m.bits,
-        complete: complete_at(&net),
-    }
+    net
 }
 
 #[cfg(test)]
@@ -143,6 +178,19 @@ mod tests {
     fn completes_from_ring() {
         let r = run(128, Topology::Ring, &CommonConfig::default());
         assert!(r.complete, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn run_report_mirrors_discovery_report() {
+        let cfg = CommonConfig::default();
+        let d = run(128, Topology::Ring, &cfg);
+        let r = run_report(128, Topology::Ring, &cfg);
+        assert_eq!(
+            (r.n, r.rounds, r.messages, r.bits, r.success),
+            (d.n, d.rounds, d.messages, d.bits, d.complete)
+        );
+        assert_eq!(r.informed, 128, "complete discovery informs everyone");
+        assert!(r.payload_messages > 0 && r.max_fan_in > 0);
     }
 
     #[test]

@@ -11,20 +11,23 @@
 //! runner, asserts the parallel summaries are bit-identical to it, and
 //! writes `BENCH_e1.json` with both wall times and the speedup.
 
-use gossip_bench::{emit, ns_header, parse_opts, Algo, BenchJson};
+use gossip_baselines::registry;
+use gossip_bench::{cli, emit, ns_header, BenchJson};
+use gossip_core::algo::{Algorithm, Scenario};
 use gossip_harness::fit::best_fits;
 use gossip_harness::{
-    fit_ratio, geometric_ns, par_map_trials, run_trials_seq, AsciiPlot, Summary, Table,
+    fit_ratio, geometric_ns, par_map_trials, run_trials_seq, AsciiPlot, ScalingLaw, Summary, Table,
 };
 
 fn main() {
-    let opts = parse_opts();
-    let ns = if opts.full {
+    let opts = cli::parse();
+    let ns = opts.ns_or(if opts.full {
         geometric_ns(8, 17, 1)
     } else {
         geometric_ns(8, 14, 2)
-    };
-    let trials = if opts.full { 20 } else { 8 };
+    });
+    let trials = opts.trials_or(if opts.full { 20 } else { 8 });
+    let algos = opts.algos(registry::compared());
     let mut bench = BenchJson::start("e1", opts);
 
     // Compute phase: every (algorithm, n) cell fans its trials out across
@@ -34,12 +37,12 @@ fn main() {
         rounds: Summary,
         msgs_per_node: Summary,
     }
-    let mut data: Vec<(Algo, Vec<Cell>)> = Vec::new();
-    for algo in Algo::all() {
+    let mut data: Vec<(&dyn Algorithm, Vec<Cell>)> = Vec::new();
+    for &algo in &algos {
         let mut cells = Vec::new();
         for &n in &ns {
             let reps = par_map_trials(0xE1, algo.name(), trials, |seed| {
-                let r = algo.run(n, seed);
+                let r = algo.run(&Scenario::broadcast(n).seed(seed));
                 (r.rounds as f64, r.messages_per_node())
             });
             let rounds: Vec<f64> = reps.iter().map(|&(r, _)| r).collect();
@@ -80,7 +83,7 @@ fn main() {
     for (algo, cells) in &data {
         let means: Vec<f64> = cells.iter().map(|c| c.rounds.mean).collect();
         let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
-        let law = algo.predicted_rounds();
+        let law = ScalingLaw::from(algo.law());
         let predicted_fit = fit_ratio(&xs, &means, law);
         let best = best_fits(&xs, &means);
 
@@ -131,7 +134,7 @@ fn main() {
         for (algo, cells) in &data {
             for (&n, cell) in ns.iter().zip(cells) {
                 let seq = run_trials_seq(0xE1, algo.name(), trials, |seed| {
-                    algo.run(n, seed).rounds as f64
+                    algo.run(&Scenario::broadcast(n).seed(seed)).rounds as f64
                 });
                 assert_eq!(
                     seq,
@@ -143,18 +146,24 @@ fn main() {
         }
         let wall_seq_ms = seq_start.elapsed().as_secs_f64() * 1e3;
 
-        let (_, head_cells) = data
-            .iter()
-            .find(|(a, _)| *a == Algo::Cluster2)
-            .expect("Cluster2 is always compared");
+        // Headline metrics come from the first algorithm in the list —
+        // Cluster2 for the default comparison, the selection under --algo.
+        let (head, head_cells) = &data[0];
+        let head_key = head.name().to_lowercase();
         let last = head_cells.last().expect("non-empty grid");
         bench.metric("trials_per_cell", f64::from(trials));
         bench.metric("grid_cells", (ns.len() * data.len()) as f64);
         bench.metric("wall_ms_parallel", wall_par_ms);
         bench.metric("wall_ms_sequential", wall_seq_ms);
         bench.metric("speedup_vs_seq", wall_seq_ms / wall_par_ms.max(1e-9));
-        bench.metric("cluster2_mean_rounds_largest_n", last.rounds.mean);
-        bench.metric("cluster2_msgs_per_node_largest_n", last.msgs_per_node.mean);
+        bench.metric(
+            format!("{head_key}_mean_rounds_largest_n"),
+            last.rounds.mean,
+        );
+        bench.metric(
+            format!("{head_key}_msgs_per_node_largest_n"),
+            last.msgs_per_node.mean,
+        );
         bench.finish();
     }
 }

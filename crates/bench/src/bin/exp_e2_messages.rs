@@ -9,17 +9,20 @@
 //! payload-bearing messages per node (the "transmissions" measure of
 //! Karp et al. — header-only pull requests excluded).
 
-use gossip_bench::{emit, ns_header, parse_opts, Algo, BenchJson};
+use gossip_baselines::registry;
+use gossip_bench::{cli, emit, ns_header, BenchJson};
+use gossip_core::algo::Scenario;
 use gossip_harness::{geometric_ns, run_trials, Table};
 
 fn main() {
-    let opts = parse_opts();
-    let ns = if opts.full {
+    let opts = cli::parse();
+    let ns = opts.ns_or(if opts.full {
         geometric_ns(8, 17, 1)
     } else {
         geometric_ns(8, 14, 2)
-    };
-    let trials = if opts.full { 20 } else { 8 };
+    });
+    let trials = opts.trials_or(if opts.full { 20 } else { 8 });
+    let algos = opts.algos(registry::compared());
     let mut bench = BenchJson::start("e2", opts);
 
     let header = ns_header(&["algorithm"], &ns);
@@ -34,22 +37,25 @@ fn main() {
         &["algorithm", "total growth", "payload growth"],
     );
 
-    // Headline record for --json: Cluster2 at the largest n.
+    // Headline record for --json: the first algorithm (Cluster2 by
+    // default) at the largest n.
     let mut headline = (0.0f64, 0.0f64);
-    for algo in Algo::all() {
+    for &algo in &algos {
         let mut totals = Vec::new();
         let mut payloads = Vec::new();
         for &n in &ns {
             let t = run_trials(0xE2, algo.name(), trials, |seed| {
-                algo.run(n, seed).messages_per_node()
+                algo.run(&Scenario::broadcast(n).seed(seed))
+                    .messages_per_node()
             });
             let p = run_trials(0xE2B, algo.name(), trials, |seed| {
-                algo.run(n, seed).payload_messages_per_node()
+                algo.run(&Scenario::broadcast(n).seed(seed))
+                    .payload_messages_per_node()
             });
             totals.push(t.mean);
             payloads.push(p.mean);
         }
-        if algo == Algo::Cluster2 {
+        if algo.name() == algos[0].name() {
             headline = (*totals.last().unwrap(), *payloads.last().unwrap());
         }
         let mut row = vec![algo.name().to_string()];
@@ -76,9 +82,16 @@ fn main() {
     emit(&growth_tbl, opts);
 
     if opts.json {
+        let head_key = algos[0].name().to_lowercase();
         bench.metric("trials_per_cell", f64::from(trials));
-        bench.metric("cluster2_total_msgs_per_node_largest_n", headline.0);
-        bench.metric("cluster2_payload_msgs_per_node_largest_n", headline.1);
+        bench.metric(
+            format!("{head_key}_total_msgs_per_node_largest_n"),
+            headline.0,
+        );
+        bench.metric(
+            format!("{head_key}_payload_msgs_per_node_largest_n"),
+            headline.1,
+        );
         bench.finish();
     }
 }

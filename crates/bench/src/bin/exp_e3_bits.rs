@@ -5,20 +5,26 @@
 //! grow. Avin–Elsässer pays an extra `n·log^{3/2} n` term (visible at
 //! small `b`), and PUSH pays `Θ(n·b·log n)`.
 
-use gossip_bench::{emit, parse_opts, Algo, BenchJson};
+use gossip_bench::{algos_by_name, cli, emit, BenchJson};
+use gossip_core::algo::Scenario;
 use gossip_harness::{geometric_ns, run_trials, Table};
 
 fn main() {
-    let opts = parse_opts();
+    let opts = cli::parse();
     let mut bench = BenchJson::start("e3", opts);
-    let ns = if opts.full {
+    let ns = opts.ns_or(if opts.full {
         geometric_ns(9, 16, 1)
     } else {
         geometric_ns(9, 14, 2)
-    };
-    let trials = if opts.full { 10 } else { 5 };
+    });
+    let trials = opts.trials_or(if opts.full { 10 } else { 5 });
     let bs: &[u64] = &[64, 512, 4096];
-    let algos = [Algo::Cluster2, Algo::AvinElsasser, Algo::Karp, Algo::Push];
+    let algos = opts.algos(&algos_by_name(&[
+        "Cluster2",
+        "AvinElsasser",
+        "Karp",
+        "Push",
+    ]));
 
     let mut header: Vec<String> = vec!["algorithm".into(), "b bits".into()];
     header.extend(ns.iter().map(|n| format!("n=2^{}", n.trailing_zeros())));
@@ -29,15 +35,18 @@ fn main() {
     );
 
     let mut headline = 0.0f64;
-    for algo in algos {
+    for &algo in &algos {
         for &b in bs {
             let mut row = vec![algo.name().to_string(), b.to_string()];
             for &n in &ns {
                 let s = run_trials(0xE3, algo.name(), trials, |seed| {
-                    let r = algo.run_with(n, seed, b);
+                    let r = algo.run(&Scenario::broadcast(n).seed(seed).rumor_bits(b));
                     r.bits as f64 / (n as f64 * b as f64)
                 });
-                if algo == Algo::Cluster2 && b == *bs.last().unwrap() && n == *ns.last().unwrap() {
+                if algo.name() == algos[0].name()
+                    && b == *bs.last().unwrap()
+                    && n == *ns.last().unwrap()
+                {
                     headline = s.mean;
                 }
                 row.push(format!("{:.2}", s.mean));
@@ -49,7 +58,13 @@ fn main() {
     emit(&tbl, opts);
     if opts.json {
         bench.metric("trials_per_cell", f64::from(trials));
-        bench.metric("cluster2_bits_per_nb_largest_cell", headline);
+        bench.metric(
+            format!(
+                "{}_bits_per_nb_largest_cell",
+                algos[0].name().to_lowercase()
+            ),
+            headline,
+        );
         bench.finish();
     }
     println!();

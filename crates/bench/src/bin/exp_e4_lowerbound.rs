@@ -8,19 +8,24 @@
 //! threshold around `T ≈ log₂ log₂ n`, with everything at or below the
 //! paper's `0.99·log log n` cutoff at probability 0.
 
-use gossip_bench::{emit, parse_opts, BenchJson};
+use gossip_bench::{cli, emit, BenchJson};
 use gossip_harness::{par_map_on, Table};
 use gossip_lowerbound::knowledge::rounds_to_complete;
 use gossip_lowerbound::theorem3::{estimate_success, paper_threshold};
 
 fn main() {
-    let opts = parse_opts();
+    let opts = cli::parse();
+    // The lower bound quantifies over *all* algorithms at once — there is
+    // no algorithm to select.
+    opts.warn_fixed_algos("e4", &[]);
     let mut bench = BenchJson::start("e4", opts);
     let (ns, trials): (Vec<usize>, u32) = if opts.full {
         (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18], 30)
     } else {
         (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16], 12)
     };
+    let ns = opts.ns_or(ns);
+    let trials = opts.trials_or(trials);
     let ts: Vec<u32> = (1..=8).collect();
 
     let mut header: Vec<String> = vec!["n".into(), "0.99*loglog n".into()];

@@ -4,19 +4,23 @@
 //! `Θ(Δ)` in `O(log log n)` rounds with `O(n)` messages, while **no node
 //! communicates with more than `Δ` others in any round**.
 
-use gossip_bench::{emit, parse_opts, BenchJson};
-use gossip_core::{cluster3, Cluster3Config};
+use gossip_baselines::registry;
+use gossip_bench::{cli, emit, BenchJson};
+use gossip_core::algo::Scenario;
+use gossip_core::{cluster3, Cluster3Config, Value};
 use gossip_harness::{par_map_trials, run_trials, Summary, Table};
 
 fn main() {
-    let opts = parse_opts();
+    let opts = cli::parse();
+    opts.warn_fixed_algos("e5", &["Cluster3"]);
     let mut bench = BenchJson::start("e5", opts);
-    let ns: Vec<usize> = if opts.full {
+    let ns = opts.ns_or(if opts.full {
         vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
     } else {
         vec![1 << 10, 1 << 12, 1 << 14]
-    };
-    let trials = if opts.full { 10 } else { 5 };
+    });
+    let trials = opts.trials_or(if opts.full { 10 } else { 5 });
+    let cluster3 = registry::by_name("Cluster3").expect("registered");
 
     let mut tbl = Table::new(
         "E5: Cluster3(delta) — delta-clustering quality",
@@ -40,36 +44,35 @@ fn main() {
         for &e in &exps {
             let delta = (n as f64).powf(1.0 / f64::from(e)).round() as usize;
             let delta = delta.max(16);
+            let delta_param = Value::obj([("delta", Value::Num(delta as f64))]);
+            // The working size Δ' the construction aims for (at the
+            // default head-room constant this run uses).
+            let working = cluster3::working_size(delta, &Cluster3Config::default());
             // One record per trial, reassembled in seed order; the fold
             // below reproduces the sequential accumulation exactly.
             let reps = par_map_trials(0xE5, &format!("d{e}n{n}"), trials, |seed| {
-                let mut cfg = Cluster3Config::default();
-                cfg.common.seed = seed;
-                cfg.c2.common.seed = seed;
-                let (_sim, rep) = cluster3::build(n, delta, &cfg);
-                rep
+                cluster3
+                    .run_with_params(&Scenario::broadcast(n).seed(seed), &delta_param)
+                    .expect("delta is a valid Cluster3 parameter")
             });
             let mut fan_ok = true;
             let mut complete = true;
             let mut min_size = usize::MAX;
             let mut max_size = 0usize;
             let mut fan_max = 0u64;
-            let mut working = 0u64;
             for rep in &reps {
                 fan_ok &= rep.max_fan_in <= delta as u64;
-                complete &= rep.complete;
+                complete &= rep.success;
                 min_size = min_size.min(rep.clustering.min_size);
                 max_size = max_size.max(rep.clustering.max_size);
                 fan_max = fan_max.max(rep.max_fan_in);
-                working = rep.working_size;
             }
             let samples: Vec<f64> = reps.iter().map(|rep| rep.rounds as f64).collect();
             let rounds = Summary::from_samples(&samples);
             let msgs: Summary = run_trials(0xE5B, &format!("d{e}n{n}"), trials, |seed| {
-                let mut cfg = Cluster3Config::default();
-                cfg.common.seed = seed;
-                cfg.c2.common.seed = seed;
-                let (_sim, rep) = cluster3::build(n, delta, &cfg);
+                let rep = cluster3
+                    .run_with_params(&Scenario::broadcast(n).seed(seed), &delta_param)
+                    .expect("delta is a valid Cluster3 parameter");
                 rep.messages as f64 / n as f64
             });
             headline = (rounds.mean, msgs.mean);

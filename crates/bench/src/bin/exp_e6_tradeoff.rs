@@ -5,21 +5,25 @@
 //! `Δ`-clustering achieves `O(log n / log Δ)` rounds with `O(n)` rumor
 //! transmissions (Lemma 17). Sweeping `Δ` at fixed `n` traces the curve.
 
-use gossip_bench::{emit, parse_opts, BenchJson};
+use gossip_baselines::registry;
+use gossip_bench::{cli, emit, BenchJson};
+use gossip_core::algo::Scenario;
 use gossip_core::config::log2n;
-use gossip_core::{cluster_push_pull, PushPullConfig};
+use gossip_core::Value;
 use gossip_harness::{par_map_trials, Summary, Table};
 
 fn main() {
-    let opts = parse_opts();
+    let opts = cli::parse();
+    opts.warn_fixed_algos("e6", &["ClusterPushPull"]);
     let mut bench = BenchJson::start("e6", opts);
-    let n: usize = if opts.full { 1 << 15 } else { 1 << 13 };
-    let trials = if opts.full { 10 } else { 5 };
+    let n: usize = opts.n.unwrap_or(if opts.full { 1 << 15 } else { 1 << 13 });
+    let trials = opts.trials_or(if opts.full { 10 } else { 5 });
     let deltas: Vec<usize> = if opts.full {
         vec![16, 32, 64, 128, 256, 512, 1024, 2048]
     } else {
         vec![16, 64, 256, 1024]
     };
+    let push_pull = registry::by_name("ClusterPushPull").expect("registered");
 
     let mut tbl = Table::new(
         format!(
@@ -41,12 +45,13 @@ fn main() {
 
     let mut headline = (0.0f64, 0.0f64);
     for &delta in &deltas {
+        let delta_param = Value::obj([("delta", Value::Num(delta as f64))]);
         // One report per trial, in seed order; the folds below reproduce
         // the sequential accumulation bit for bit.
         let reps = par_map_trials(0xE6, &format!("d{delta}"), trials, |seed| {
-            let mut cfg = PushPullConfig::default();
-            cfg.common.seed = seed;
-            cluster_push_pull::run(n, delta, &cfg)
+            push_pull
+                .run_with_params(&Scenario::broadcast(n).seed(seed), &delta_param)
+                .expect("delta is a valid ClusterPushPull parameter")
         });
         let mut fan_max = 0u64;
         let mut ok = true;

@@ -6,17 +6,18 @@
 //! is that this ratio vanishes (it is `O(F/n)^{Θ(log log n)}`-ish, i.e.
 //! far below 1 and shrinking with n).
 
-use gossip_bench::{emit, parse_opts, Algo, BenchJson};
+use gossip_bench::{algos_by_name, cli, emit, BenchJson};
+use gossip_core::algo::Scenario;
 use gossip_harness::{par_map_trials, Summary, Table};
 use phonecall::FailurePlan;
 
 fn main() {
-    let opts = parse_opts();
+    let opts = cli::parse();
     let mut bench = BenchJson::start("e7", opts);
-    let n: usize = if opts.full { 1 << 14 } else { 1 << 12 };
-    let trials = if opts.full { 15 } else { 6 };
+    let n: usize = opts.n.unwrap_or(if opts.full { 1 << 14 } else { 1 << 12 });
+    let trials = opts.trials_or(if opts.full { 15 } else { 6 });
     let fractions = [0.05f64, 0.1, 0.2, 0.3];
-    let algos = [Algo::Cluster1, Algo::Cluster2, Algo::Karp, Algo::Push];
+    let algos = opts.algos(&algos_by_name(&["Cluster1", "Cluster2", "Karp", "Push"]));
 
     let mut header: Vec<String> = vec!["algorithm".into()];
     header.extend(fractions.iter().map(|f| format!("F/n={f}")));
@@ -30,20 +31,24 @@ fn main() {
     );
     let mut rounds_tbl = Table::new("E7b: rounds under failures (guarantees preserved)", &cols);
 
+    // Headline metrics track Cluster2 in the default comparison, or the
+    // selected algorithm under --algo (so the BENCH record never carries
+    // zeros for an algorithm that did not run).
+    let head_name = opts.algo.map_or("Cluster2", |a| a.name());
     let mut headline = (0.0f64, 0.0f64);
-    for algo in algos {
+    for &algo in &algos {
         let mut row = vec![algo.name().to_string()];
         let mut rrow = vec![algo.name().to_string()];
         for &frac in &fractions {
             let f = (n as f64 * frac) as usize;
             let reps = par_map_trials(0xE7, &format!("{}{frac}", algo.name()), trials, |seed| {
-                let r = run_with_failures(algo, n, f, seed);
+                let r = algo.run(&failure_scenario(n, f, seed));
                 (r.uninformed() as f64 / f as f64, r.rounds as f64)
             });
             let ratios: Vec<f64> = reps.iter().map(|&(u, _)| u).collect();
             let rounds_acc: f64 = reps.iter().map(|&(_, r)| r).sum();
             let s = Summary::from_samples(&ratios);
-            if algo == Algo::Cluster2 {
+            if algo.name() == head_name {
                 headline = (s.mean, rounds_acc / f64::from(trials));
             }
             row.push(format!("{:.4}", s.mean));
@@ -64,42 +69,29 @@ fn main() {
          runs of E1."
     );
     if opts.json {
+        let head_key = head_name.to_lowercase();
         bench.metric("trials_per_cell", f64::from(trials));
-        bench.metric("cluster2_uninformed_ratio_worst_frac", headline.0);
-        bench.metric("cluster2_mean_rounds_worst_frac", headline.1);
+        bench.metric(
+            format!("{head_key}_uninformed_ratio_worst_frac"),
+            headline.0,
+        );
+        bench.metric(format!("{head_key}_mean_rounds_worst_frac"), headline.1);
         bench.finish();
     }
 }
 
-fn run_with_failures(algo: Algo, n: usize, f: usize, seed: u64) -> gossip_core::report::RunReport {
-    use gossip_core::{cluster1, cluster2, Cluster1Config, Cluster2Config, CommonConfig};
-    let mut common = CommonConfig::default();
-    common.seed = seed;
-    common.failures = FailurePlan::random(n, f, phonecall::derive_seed(seed, 0xF));
-    // Never fail the source (the task assumes a surviving source).
-    if common
-        .failures
-        .failed()
-        .iter()
-        .any(|i| i.0 == common.source)
-    {
-        common.source = (0..n as u32)
-            .find(|i| !common.failures.failed().iter().any(|x| x.0 == *i))
+/// A broadcast scenario with `f` random oblivious failures, re-sourced at
+/// the first surviving node (the task assumes a surviving source).
+fn failure_scenario(n: usize, f: usize, seed: u64) -> Scenario {
+    let failures = FailurePlan::random(n, f, phonecall::derive_seed(seed, 0xF));
+    let mut source = 0u32;
+    if failures.failed().iter().any(|i| i.0 == source) {
+        source = (0..n as u32)
+            .find(|i| !failures.failed().iter().any(|x| x.0 == *i))
             .expect("not all nodes failed");
     }
-    match algo {
-        Algo::Cluster1 => {
-            let mut c = Cluster1Config::default();
-            c.common = common;
-            cluster1::run(n, &c)
-        }
-        Algo::Cluster2 => {
-            let mut c = Cluster2Config::default();
-            c.common = common;
-            cluster2::run(n, &c)
-        }
-        Algo::Karp => gossip_baselines::karp::run(n, &common),
-        Algo::Push => gossip_baselines::push::run(n, &common),
-        _ => unreachable!("E7 compares the four algorithms above"),
-    }
+    Scenario::broadcast(n)
+        .seed(seed)
+        .failures(failures)
+        .source(source)
 }

@@ -12,7 +12,7 @@
 //!   the second sweep is what merges inactive clusters that the first one
 //!   missed. With a single sweep, stragglers pile up.
 
-use gossip_bench::{emit, parse_opts, BenchJson};
+use gossip_bench::{cli, emit, BenchJson};
 use gossip_core::primitives::{
     activate, merge_iteration, resize, sample_singletons, MergeOpts, MergeRule, Who,
 };
@@ -20,16 +20,19 @@ use gossip_core::{cluster2, Cluster2Config, ClusterSim, CommonConfig};
 use gossip_harness::{par_map_trials, run_trials, Summary, Table};
 
 fn main() {
-    let opts = parse_opts();
-    let trials = if opts.full { 10 } else { 5 };
+    let opts = cli::parse();
+    // The ablations run Cluster2's internals against modified copies of
+    // themselves — there is no algorithm to select.
+    opts.warn_fixed_algos("e8", &["Cluster2"]);
+    let trials = opts.trials_or(if opts.full { 10 } else { 5 });
     let mut bench = BenchJson::start("e8", opts);
 
     // --- A: squaring vs doubling -------------------------------------
-    let ns: Vec<usize> = if opts.full {
+    let ns: Vec<usize> = opts.ns_or(if opts.full {
         vec![1 << 8, 1 << 10, 1 << 12, 1 << 14]
     } else {
         vec![1 << 8, 1 << 10, 1 << 12]
-    };
+    });
     let mut a = Table::new(
         "E8-A: merge all singletons into one cluster — squaring vs doubling (iterations used)",
         &[

@@ -13,22 +13,19 @@
 //! but not always, recover — quantifying how much of their optimality
 //! budget is spent on the reliable-link assumption.
 
-use gossip_bench::{emit, parse_opts, Algo, BenchJson};
+use gossip_bench::{algos_by_name, cli, emit, BenchJson};
+use gossip_core::algo::Scenario;
 use gossip_harness::{par_map_trials, Summary, Table};
 
 fn main() {
-    let opts = parse_opts();
+    let opts = cli::parse();
     let mut bench = BenchJson::start("e9", opts);
-    let n: usize = if opts.full { 1 << 13 } else { 1 << 11 };
-    let trials = if opts.full { 12 } else { 6 };
+    let n: usize = opts.n.unwrap_or(if opts.full { 1 << 13 } else { 1 << 11 });
+    let trials = opts.trials_or(if opts.full { 12 } else { 6 });
     let losses = [0.0f64, 0.01, 0.05, 0.1, 0.2];
-    let algos = [
-        Algo::Cluster2,
-        Algo::Cluster1,
-        Algo::Karp,
-        Algo::PushPull,
-        Algo::Push,
-    ];
+    let algos = opts.algos(&algos_by_name(&[
+        "Cluster2", "Cluster1", "Karp", "PushPull", "Push",
+    ]));
 
     let mut header: Vec<String> = vec!["algorithm".into()];
     header.extend(losses.iter().map(|l| format!("loss={l}")));
@@ -45,19 +42,23 @@ fn main() {
         &cols,
     );
 
+    // Headline metrics track Cluster2 in the default comparison, or the
+    // selected algorithm under --algo (so the BENCH record never carries
+    // zeros for an algorithm that did not run).
+    let head_name = opts.algo.map_or("Cluster2", |a| a.name());
     let mut headline = (0.0f64, 0.0f64);
-    for algo in algos {
+    for &algo in &algos {
         let mut row = vec![algo.name().to_string()];
         let mut rrow = vec![algo.name().to_string()];
         for &loss in &losses {
             let reps = par_map_trials(0xE9, &format!("{}{loss}", algo.name()), trials, |seed| {
-                let r = run_with_loss(algo, n, loss, seed);
+                let r = algo.run(&Scenario::broadcast(n).seed(seed).message_loss(loss));
                 (r.informed as f64 / r.alive as f64, r.rounds as f64)
             });
             let coverage: Vec<f64> = reps.iter().map(|&(c, _)| c).collect();
             let rounds: f64 = reps.iter().map(|&(_, r)| r).sum();
             let cov = Summary::from_samples(&coverage);
-            if algo == Algo::Cluster2 {
+            if algo.name() == head_name {
                 headline = (cov.mean, rounds / f64::from(trials));
             }
             row.push(format!("{:.4}", cov.mean));
@@ -79,32 +80,10 @@ fn main() {
          — beyond that; reliable links are part of their optimality budget."
     );
     if opts.json {
+        let head_key = head_name.to_lowercase();
         bench.metric("trials_per_cell", f64::from(trials));
-        bench.metric("cluster2_coverage_worst_loss", headline.0);
-        bench.metric("cluster2_mean_rounds_worst_loss", headline.1);
+        bench.metric(format!("{head_key}_coverage_worst_loss"), headline.0);
+        bench.metric(format!("{head_key}_mean_rounds_worst_loss"), headline.1);
         bench.finish();
-    }
-}
-
-fn run_with_loss(algo: Algo, n: usize, loss: f64, seed: u64) -> gossip_core::report::RunReport {
-    use gossip_core::{cluster1, cluster2, Cluster1Config, Cluster2Config, CommonConfig};
-    let mut common = CommonConfig::default();
-    common.seed = seed;
-    common.message_loss = loss;
-    match algo {
-        Algo::Cluster1 => {
-            let mut c = Cluster1Config::default();
-            c.common = common;
-            cluster1::run(n, &c)
-        }
-        Algo::Cluster2 => {
-            let mut c = Cluster2Config::default();
-            c.common = common;
-            cluster2::run(n, &c)
-        }
-        Algo::Karp => gossip_baselines::karp::run(n, &common),
-        Algo::Push => gossip_baselines::push::run(n, &common),
-        Algo::PushPull => gossip_baselines::push_pull::run(n, &common),
-        _ => unreachable!("E9 compares the five algorithms above"),
     }
 }

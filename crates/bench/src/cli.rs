@@ -1,0 +1,266 @@
+//! The one flag parser all nine `exp_e*` binaries share.
+//!
+//! Flags:
+//!
+//! * `--full` — the larger grid recorded in EXPERIMENTS.md;
+//! * `--csv` — CSV tables instead of markdown;
+//! * `--json` — additionally write a `BENCH_eK.json` perf record;
+//! * `--algo <name>` — run a single algorithm from the registry
+//!   (case-insensitive; unknown names exit listing the valid ones);
+//! * `--list-algos` — print the registry (name, law, description) and
+//!   exit;
+//! * `--n <size>` — replace the size grid with a single `n`;
+//! * `--trials <k>` — override the per-cell trial count.
+//!
+//! Experiments that run a fixed construction (E4's lower bound, E5/E6's
+//! `Δ` machinery, E8's ablations) warn and ignore `--algo` via
+//! [`Options::warn_fixed_algos`].
+
+use gossip_baselines::registry;
+use gossip_core::algo::Algorithm;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Options {
+    /// Use the larger sweep recorded in EXPERIMENTS.md.
+    pub full: bool,
+    /// Emit CSV instead of markdown.
+    pub csv: bool,
+    /// Additionally write a `BENCH_eK.json` perf record.
+    pub json: bool,
+    /// Run only this algorithm (resolved through the registry).
+    pub algo: Option<&'static dyn Algorithm>,
+    /// Replace the experiment's size grid with this single `n`.
+    pub n: Option<usize>,
+    /// Override the per-cell trial count.
+    pub trials: Option<u32>,
+}
+
+impl Options {
+    /// The algorithm list to run: the single `--algo` selection if given,
+    /// otherwise the experiment's default set.
+    #[must_use]
+    pub fn algos(&self, default: &[&'static dyn Algorithm]) -> Vec<&'static dyn Algorithm> {
+        match self.algo {
+            Some(a) => vec![a],
+            None => default.to_vec(),
+        }
+    }
+
+    /// The size grid: `[--n]` if given, otherwise the default grid.
+    #[must_use]
+    pub fn ns_or(&self, default: Vec<usize>) -> Vec<usize> {
+        match self.n {
+            Some(n) => vec![n],
+            None => default,
+        }
+    }
+
+    /// The trial count: `--trials` if given, otherwise the default.
+    #[must_use]
+    pub fn trials_or(&self, default: u32) -> u32 {
+        self.trials.unwrap_or(default)
+    }
+
+    /// For experiments whose algorithm set is fixed by construction:
+    /// warns (on stderr) that `--algo` is ignored unless it names one of
+    /// `runs` (an empty `runs` means the experiment has no algorithm
+    /// subject at all, e.g. E4's lower bound).
+    pub fn warn_fixed_algos(&self, experiment: &str, runs: &[&str]) {
+        if let Some(a) = self.algo {
+            if runs.is_empty() {
+                eprintln!(
+                    "{experiment} has no algorithm to select; ignoring --algo {}",
+                    a.name()
+                );
+            } else if !runs.contains(&a.name()) {
+                eprintln!(
+                    "{experiment} always runs {}; ignoring --algo {}",
+                    runs.join("+"),
+                    a.name()
+                );
+            }
+        }
+    }
+}
+
+/// Outcome of [`try_parse`]: options, or a terminal request/error the
+/// caller turns into an exit.
+#[derive(Clone, Copy, Debug)]
+enum Terminal {
+    ListAlgos,
+    Error,
+}
+
+/// Parses the standard experiment flags from `std::env::args`, handling
+/// `--list-algos` (prints the registry, exits 0) and bad values (exits 2
+/// with a message) in place. Unknown flags warn and are ignored, as they
+/// always were.
+#[must_use]
+pub fn parse() -> Options {
+    match try_parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(Terminal::ListAlgos) => {
+            print!("{}", render_algo_list());
+            std::process::exit(0);
+        }
+        Err(Terminal::Error) => std::process::exit(2),
+    }
+}
+
+fn try_parse(args: impl Iterator<Item = String>) -> Result<Options, Terminal> {
+    let mut o = Options::default();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, mut inline) = match a.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (a, None),
+        };
+        let mut value = |name: &str| {
+            inline.take().or_else(|| args.next()).ok_or_else(|| {
+                eprintln!("{name} needs a value");
+                Terminal::Error
+            })
+        };
+        match flag.as_str() {
+            "--full" => o.full = true,
+            "--csv" => o.csv = true,
+            "--json" => o.json = true,
+            "--list-algos" => return Err(Terminal::ListAlgos),
+            "--algo" => {
+                let name = value("--algo")?;
+                o.algo = Some(registry::by_name(&name).map_err(|e| {
+                    eprintln!("{e}");
+                    Terminal::Error
+                })?);
+            }
+            "--n" => {
+                let v = value("--n")?;
+                // Gossip needs at least two nodes; catching it here gives
+                // a clean exit instead of a simulator panic.
+                o.n = match v.parse() {
+                    Ok(n) if n >= 2 => Some(n),
+                    _ => {
+                        eprintln!("--n wants an integer >= 2, got {v:?}");
+                        return Err(Terminal::Error);
+                    }
+                };
+            }
+            "--trials" => {
+                let v = value("--trials")?;
+                // Zero trials would print all-zero summaries that look
+                // like measurements.
+                o.trials = match v.parse() {
+                    Ok(t) if t >= 1 => Some(t),
+                    _ => {
+                        eprintln!("--trials wants an integer >= 1, got {v:?}");
+                        return Err(Terminal::Error);
+                    }
+                };
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    Ok(o)
+}
+
+/// The `--list-algos` listing: one line per registry entry.
+#[must_use]
+pub fn render_algo_list() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<16} {:<12} description\n", "name", "rounds"));
+    for algo in registry::all() {
+        out.push_str(&format!(
+            "{:<16} {:<12} {}\n",
+            algo.name(),
+            algo.law().label(),
+            algo.about()
+        ));
+    }
+    out.push_str("\nselect one with --algo <name> (case-insensitive)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_vec(args: &[&str]) -> Result<Options, Terminal> {
+        try_parse(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults_are_off() {
+        let o = parse_vec(&[]).unwrap();
+        assert!(!o.full && !o.csv && !o.json);
+        assert!(o.algo.is_none() && o.n.is_none() && o.trials.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse_vec(&[
+            "--full", "--csv", "--json", "--algo", "cluster2", "--n", "512", "--trials", "3",
+        ])
+        .unwrap();
+        assert!(o.full && o.csv && o.json);
+        assert_eq!(o.algo.unwrap().name(), "Cluster2");
+        assert_eq!(o.n, Some(512));
+        assert_eq!(o.trials, Some(3));
+    }
+
+    #[test]
+    fn parses_equals_form() {
+        let o = parse_vec(&["--algo=push-pull", "--n=64"]).unwrap();
+        assert_eq!(o.algo.unwrap().name(), "PushPull");
+        assert_eq!(o.n, Some(64));
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(matches!(
+            parse_vec(&["--algo", "nonesuch"]),
+            Err(Terminal::Error)
+        ));
+        assert!(matches!(parse_vec(&["--n", "many"]), Err(Terminal::Error)));
+        assert!(matches!(parse_vec(&["--trials"]), Err(Terminal::Error)));
+        // Degenerate sizes/counts get the clean error path, not a panic
+        // (gossip needs n >= 2; zero trials fake all-zero summaries).
+        assert!(matches!(parse_vec(&["--n", "0"]), Err(Terminal::Error)));
+        assert!(matches!(parse_vec(&["--n", "1"]), Err(Terminal::Error)));
+        assert!(matches!(
+            parse_vec(&["--trials", "0"]),
+            Err(Terminal::Error)
+        ));
+        assert!(parse_vec(&["--n", "2", "--trials", "1"]).is_ok());
+    }
+
+    #[test]
+    fn list_algos_is_terminal_and_complete() {
+        assert!(matches!(
+            parse_vec(&["--list-algos"]),
+            Err(Terminal::ListAlgos)
+        ));
+        let listing = render_algo_list();
+        for algo in registry::all() {
+            assert!(listing.contains(algo.name()), "missing {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn selection_helpers() {
+        let o = parse_vec(&["--algo", "push"]).unwrap();
+        let picked = o.algos(registry::compared());
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].name(), "Push");
+
+        let o = parse_vec(&[]).unwrap();
+        assert_eq!(o.algos(registry::compared()).len(), 7);
+        assert_eq!(o.ns_or(vec![1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(o.trials_or(8), 8);
+
+        let o = parse_vec(&["--n", "99", "--trials", "2"]).unwrap();
+        assert_eq!(o.ns_or(vec![1, 2, 3]), vec![99]);
+        assert_eq!(o.trials_or(8), 2);
+    }
+}

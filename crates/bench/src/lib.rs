@@ -1,47 +1,41 @@
 //! Shared helpers for the `exp_*` experiment binaries (see
-//! EXPERIMENTS.md): algorithm registry, sweep presets, flag parsing and
-//! the `BENCH_eK.json` perf-record writer.
+//! EXPERIMENTS.md): the shared [`cli`] flag parser, table helpers and the
+//! `BENCH_eK.json` perf-record writer.
 //!
 //! Every binary accepts `--full` for the larger grids recorded in
-//! EXPERIMENTS.md, `--csv` to emit CSV instead of markdown, and `--json`
-//! to additionally write a `BENCH_eK.json` perf record (wall time, worker
-//! threads, headline metrics) into the working directory.
+//! EXPERIMENTS.md, `--csv` to emit CSV instead of markdown, `--json` to
+//! additionally write a `BENCH_eK.json` perf record, and the algorithm
+//! selection flags `--algo <name>` / `--list-algos` / `--n <size>` /
+//! `--trials <k>` backed by the algorithm registry
+//! (`gossip_baselines::registry`) — no binary carries its own dispatch
+//! table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cli;
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use gossip_baselines::{avin_elsasser, karp, pull, push, push_pull};
-use gossip_core::report::RunReport;
-use gossip_core::{cluster1, cluster2, Cluster1Config, Cluster2Config, CommonConfig};
+pub use cli::{parse, Options};
+use gossip_baselines::registry;
+use gossip_core::algo::Algorithm;
 
-/// Command-line options shared by all experiment binaries.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ExpOpts {
-    /// Use the larger sweep recorded in EXPERIMENTS.md.
-    pub full: bool,
-    /// Emit CSV instead of markdown.
-    pub csv: bool,
-    /// Additionally write a `BENCH_eK.json` perf record.
-    pub json: bool,
-}
-
-/// Parses the standard experiment flags from `std::env::args`.
+/// Resolves a list of registry names into algorithm handles; the
+/// experiment binaries use this for their fixed default sets.
+///
+/// # Panics
+///
+/// Panics if a name is not in the registry — the binaries' defaults are
+/// compile-time constants, so a miss is a programming error.
 #[must_use]
-pub fn parse_opts() -> ExpOpts {
-    let mut o = ExpOpts::default();
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
-            "--full" => o.full = true,
-            "--csv" => o.csv = true,
-            "--json" => o.json = true,
-            other => eprintln!("ignoring unknown flag {other}"),
-        }
-    }
-    o
+pub fn algos_by_name(names: &[&str]) -> Vec<&'static dyn Algorithm> {
+    names
+        .iter()
+        .map(|n| registry::by_name(n).unwrap_or_else(|e| panic!("bad default algorithm list: {e}")))
+        .collect()
 }
 
 /// A `BENCH_eK.json` perf record: wall time of the experiment's compute
@@ -64,7 +58,7 @@ impl BenchJson {
     /// Starts the perf record (and its wall-time stopwatch) for
     /// experiment `experiment` (e.g. `"e1"`).
     #[must_use]
-    pub fn start(experiment: &'static str, opts: ExpOpts) -> Self {
+    pub fn start(experiment: &'static str, opts: Options) -> Self {
         BenchJson {
             experiment,
             started: Instant::now(),
@@ -166,7 +160,7 @@ pub fn ns_header(prefix: &[&str], ns: &[usize]) -> Vec<String> {
 }
 
 /// Prints a table in the format selected by the options.
-pub fn emit(table: &gossip_harness::Table, opts: ExpOpts) {
+pub fn emit(table: &gossip_harness::Table, opts: Options) {
     if opts.csv {
         print!("{}", table.to_csv());
     } else {
@@ -174,105 +168,16 @@ pub fn emit(table: &gossip_harness::Table, opts: ExpOpts) {
     }
 }
 
-/// The broadcast algorithms compared across experiments E1–E3.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algo {
-    /// Algorithm 1 of the paper.
-    Cluster1,
-    /// Algorithm 2 of the paper (the headline result).
-    Cluster2,
-    /// Avin–Elsässer reconstruction.
-    AvinElsasser,
-    /// Karp et al. counter-terminated push-pull.
-    Karp,
-    /// Plain PUSH.
-    Push,
-    /// Plain PULL.
-    Pull,
-    /// PUSH-PULL.
-    PushPull,
-}
-
-impl Algo {
-    /// All compared algorithms, headline first.
-    #[must_use]
-    pub fn all() -> [Algo; 7] {
-        [
-            Algo::Cluster2,
-            Algo::Cluster1,
-            Algo::AvinElsasser,
-            Algo::Karp,
-            Algo::PushPull,
-            Algo::Push,
-            Algo::Pull,
-        ]
-    }
-
-    /// Display name.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Algo::Cluster1 => "Cluster1",
-            Algo::Cluster2 => "Cluster2",
-            Algo::AvinElsasser => "AvinElsasser",
-            Algo::Karp => "Karp",
-            Algo::Push => "Push",
-            Algo::Pull => "Pull",
-            Algo::PushPull => "PushPull",
-        }
-    }
-
-    /// The paper's predicted round-complexity law for this algorithm.
-    #[must_use]
-    pub fn predicted_rounds(self) -> gossip_harness::ScalingLaw {
-        use gossip_harness::ScalingLaw as L;
-        match self {
-            Algo::Cluster1 | Algo::Cluster2 => L::LogLog,
-            Algo::AvinElsasser => L::SqrtLog,
-            Algo::Karp | Algo::Push | Algo::Pull | Algo::PushPull => L::Log,
-        }
-    }
-
-    /// Runs the algorithm with the given size and seed, default rumor.
-    #[must_use]
-    pub fn run(self, n: usize, seed: u64) -> RunReport {
-        self.run_with(n, seed, 256)
-    }
-
-    /// Runs the algorithm with an explicit rumor size.
-    #[must_use]
-    pub fn run_with(self, n: usize, seed: u64, rumor_bits: u64) -> RunReport {
-        let mut common = CommonConfig::default();
-        common.seed = seed;
-        common.rumor_bits = rumor_bits;
-        match self {
-            Algo::Cluster1 => {
-                let mut c = Cluster1Config::default();
-                c.common = common;
-                cluster1::run(n, &c)
-            }
-            Algo::Cluster2 => {
-                let mut c = Cluster2Config::default();
-                c.common = common;
-                cluster2::run(n, &c)
-            }
-            Algo::AvinElsasser => avin_elsasser::run(n, &common),
-            Algo::Karp => karp::run(n, &common),
-            Algo::Push => push::run(n, &common),
-            Algo::Pull => pull::run(n, &common),
-            Algo::PushPull => push_pull::run(n, &common),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gossip_core::algo::Scenario;
 
     #[test]
-    fn every_algorithm_succeeds_at_small_n() {
-        for algo in Algo::all() {
-            let r = algo.run(512, 1);
+    fn every_compared_algorithm_succeeds_at_small_n() {
+        let scenario = Scenario::broadcast(512).seed(1);
+        for algo in registry::compared() {
+            let r = algo.run(&scenario);
             assert!(
                 r.success,
                 "{} failed: {}/{}",
@@ -284,14 +189,21 @@ mod tests {
     }
 
     #[test]
-    fn names_are_unique() {
-        let names: std::collections::BTreeSet<_> = Algo::all().iter().map(|a| a.name()).collect();
-        assert_eq!(names.len(), 7);
+    fn algos_by_name_resolves_defaults() {
+        let algos = algos_by_name(&["Cluster1", "Cluster2", "Karp", "Push"]);
+        assert_eq!(algos.len(), 4);
+        assert_eq!(algos[1].name(), "Cluster2");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad default algorithm list")]
+    fn algos_by_name_panics_on_typo() {
+        let _ = algos_by_name(&["Clustre2"]);
     }
 
     #[test]
     fn bench_json_renders_valid_shape() {
-        let mut b = BenchJson::start("e0", ExpOpts::default());
+        let mut b = BenchJson::start("e0", Options::default());
         b.metric("mean_rounds", 12.5);
         b.metric("msgs_per_node", 3.0);
         let doc = b.render();
@@ -311,7 +223,7 @@ mod tests {
 
     #[test]
     fn non_finite_metrics_become_null() {
-        let mut b = BenchJson::start("e0", ExpOpts::default());
+        let mut b = BenchJson::start("e0", Options::default());
         b.metric("bad", f64::NAN);
         b.metric("worse", f64::INFINITY);
         let doc = b.render();

@@ -84,7 +84,7 @@ pub fn run_on(sim: &mut ClusterSim, delta: usize, cfg: &Cluster3Config) -> Delta
     );
     let n = sim.n();
     let l = log2n(n);
-    let working = ((delta as f64 / cfg.c_headroom).floor() as u64).max(2);
+    let working = working_size(delta, cfg);
 
     // The fan-in bound must hold during construction too: intermediate
     // cluster sizes (a leader answers one pull per member) have to stay
@@ -157,6 +157,15 @@ pub fn run_on(sim: &mut ClusterSim, delta: usize, cfg: &Cluster3Config) -> Delta
         clustering,
         complete: clustering.unclustered == 0,
     }
+}
+
+/// The working cluster size `Δ' = ⌊Δ / C''⌋` (floored at 2) the
+/// construction aims for — the single source of truth behind
+/// [`DeltaClusteringReport::working_size`], exported so consumers (e.g.
+/// experiment E5's size-band column) never re-derive it.
+#[must_use]
+pub fn working_size(delta: usize, cfg: &Cluster3Config) -> u64 {
+    ((delta as f64 / cfg.c_headroom).floor() as u64).max(2)
 }
 
 /// `Cluster2::square_clusters` with a caller-chosen size target.

@@ -10,6 +10,8 @@
 use phonecall::FailurePlan;
 use serde::{Deserialize, Serialize};
 
+use crate::params::{ParamError, Value};
+
 /// Parameters shared by every algorithm run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CommonConfig {
@@ -199,6 +201,211 @@ impl Default for PushPullConfig {
     }
 }
 
+/// Applies one numeric override, reporting type errors by key.
+fn set_f64(slot: &mut f64, key: &str, v: &Value) -> Result<(), ParamError> {
+    *slot = v.as_f64().ok_or_else(|| {
+        ParamError(format!(
+            "parameter {key:?} wants a number, got {}",
+            v.render()
+        ))
+    })?;
+    Ok(())
+}
+
+/// Applies one integer override, reporting type errors by key.
+fn set_u32(slot: &mut u32, key: &str, v: &Value) -> Result<(), ParamError> {
+    let x = v.as_u64().ok_or_else(|| {
+        ParamError(format!(
+            "parameter {key:?} wants an integer, got {}",
+            v.render()
+        ))
+    })?;
+    *slot =
+        u32::try_from(x).map_err(|_| ParamError(format!("parameter {key:?} out of range: {x}")))?;
+    Ok(())
+}
+
+fn unknown_key(config: &str, key: &str, valid: &[&str]) -> ParamError {
+    ParamError(format!(
+        "unknown {config} parameter {key:?}; valid keys: {}",
+        valid.join(", ")
+    ))
+}
+
+impl Cluster1Config {
+    const PARAM_KEYS: &'static [&'static str] = &[
+        "c_sample",
+        "c_min",
+        "grow_slack",
+        "square_safety",
+        "pull_slack",
+    ];
+
+    /// The tunables (everything except the shared [`CommonConfig`], which
+    /// the [`crate::algo::Scenario`] owns) as a JSON object.
+    #[must_use]
+    pub fn params(&self) -> Value {
+        Value::obj([
+            ("c_sample", Value::Num(self.c_sample)),
+            ("c_min", Value::Num(self.c_min)),
+            ("grow_slack", Value::Num(f64::from(self.grow_slack))),
+            ("square_safety", Value::Num(self.square_safety)),
+            ("pull_slack", Value::Num(f64::from(self.pull_slack))),
+        ])
+    }
+
+    /// Applies a JSON object of overrides onto this config.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown keys (listing the valid ones) and wrongly typed
+    /// values.
+    pub fn apply_params(&mut self, overrides: &Value) -> Result<(), ParamError> {
+        for (key, v) in overrides.expect_obj("Cluster1 parameters")? {
+            match key.as_str() {
+                "c_sample" => set_f64(&mut self.c_sample, key, v)?,
+                "c_min" => set_f64(&mut self.c_min, key, v)?,
+                "grow_slack" => set_u32(&mut self.grow_slack, key, v)?,
+                "square_safety" => set_f64(&mut self.square_safety, key, v)?,
+                "pull_slack" => set_u32(&mut self.pull_slack, key, v)?,
+                _ => return Err(unknown_key("Cluster1", key, Self::PARAM_KEYS)),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Cluster2Config {
+    const PARAM_KEYS: &'static [&'static str] = &[
+        "c_sample",
+        "c_cap",
+        "grow_slack",
+        "square_safety",
+        "bounded_push_stall",
+        "bounded_push_slack",
+        "pull_slack",
+        "assumed_n",
+    ];
+
+    /// The tunables as a JSON object (see [`Cluster1Config::params`]).
+    #[must_use]
+    pub fn params(&self) -> Value {
+        Value::obj([
+            ("c_sample", Value::Num(self.c_sample)),
+            ("c_cap", Value::Num(self.c_cap)),
+            ("grow_slack", Value::Num(f64::from(self.grow_slack))),
+            ("square_safety", Value::Num(self.square_safety)),
+            ("bounded_push_stall", Value::Num(self.bounded_push_stall)),
+            (
+                "bounded_push_slack",
+                Value::Num(f64::from(self.bounded_push_slack)),
+            ),
+            ("pull_slack", Value::Num(f64::from(self.pull_slack))),
+            (
+                "assumed_n",
+                self.assumed_n.map_or(Value::Null, |n| Value::Num(n as f64)),
+            ),
+        ])
+    }
+
+    /// Applies a JSON object of overrides onto this config.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown keys (listing the valid ones) and wrongly typed
+    /// values.
+    pub fn apply_params(&mut self, overrides: &Value) -> Result<(), ParamError> {
+        for (key, v) in overrides.expect_obj("Cluster2 parameters")? {
+            match key.as_str() {
+                "c_sample" => set_f64(&mut self.c_sample, key, v)?,
+                "c_cap" => set_f64(&mut self.c_cap, key, v)?,
+                "grow_slack" => set_u32(&mut self.grow_slack, key, v)?,
+                "square_safety" => set_f64(&mut self.square_safety, key, v)?,
+                "bounded_push_stall" => set_f64(&mut self.bounded_push_stall, key, v)?,
+                "bounded_push_slack" => set_u32(&mut self.bounded_push_slack, key, v)?,
+                "pull_slack" => set_u32(&mut self.pull_slack, key, v)?,
+                "assumed_n" => {
+                    self.assumed_n = match v {
+                        Value::Null => None,
+                        _ => Some(v.as_u64().ok_or_else(|| {
+                            ParamError(format!(
+                                "parameter \"assumed_n\" wants an integer or null, got {}",
+                                v.render()
+                            ))
+                        })? as usize),
+                    }
+                }
+                _ => return Err(unknown_key("Cluster2", key, Self::PARAM_KEYS)),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Cluster3Config {
+    const PARAM_KEYS: &'static [&'static str] = &["c_headroom", "merge_boost", "c2"];
+
+    /// The tunables as a JSON object; the underlying Cluster2 constants
+    /// nest under `"c2"`.
+    #[must_use]
+    pub fn params(&self) -> Value {
+        Value::obj([
+            ("c_headroom", Value::Num(self.c_headroom)),
+            ("merge_boost", Value::Num(self.merge_boost)),
+            ("c2", self.c2.params()),
+        ])
+    }
+
+    /// Applies a JSON object of overrides onto this config.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown keys (listing the valid ones) and wrongly typed
+    /// values, including inside the nested `"c2"` object.
+    pub fn apply_params(&mut self, overrides: &Value) -> Result<(), ParamError> {
+        for (key, v) in overrides.expect_obj("Cluster3 parameters")? {
+            match key.as_str() {
+                "c_headroom" => set_f64(&mut self.c_headroom, key, v)?,
+                "merge_boost" => set_f64(&mut self.merge_boost, key, v)?,
+                "c2" => self.c2.apply_params(v)?,
+                _ => return Err(unknown_key("Cluster3", key, Self::PARAM_KEYS)),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PushPullConfig {
+    const PARAM_KEYS: &'static [&'static str] = &["loop_slack", "cluster3"];
+
+    /// The tunables as a JSON object; the `Δ`-clustering constants nest
+    /// under `"cluster3"`.
+    #[must_use]
+    pub fn params(&self) -> Value {
+        Value::obj([
+            ("loop_slack", Value::Num(f64::from(self.loop_slack))),
+            ("cluster3", self.cluster3.params()),
+        ])
+    }
+
+    /// Applies a JSON object of overrides onto this config.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown keys (listing the valid ones) and wrongly typed
+    /// values, including inside the nested `"cluster3"` object.
+    pub fn apply_params(&mut self, overrides: &Value) -> Result<(), ParamError> {
+        for (key, v) in overrides.expect_obj("ClusterPushPull parameters")? {
+            match key.as_str() {
+                "loop_slack" => set_u32(&mut self.loop_slack, key, v)?,
+                "cluster3" => self.cluster3.apply_params(v)?,
+                _ => return Err(unknown_key("ClusterPushPull", key, Self::PARAM_KEYS)),
+            }
+        }
+        Ok(())
+    }
+}
+
 /// `log₂ n`, floored at 1 (the ubiquitous `L` of the budget formulas).
 #[must_use]
 pub fn log2n(n: usize) -> f64 {
@@ -238,6 +445,59 @@ mod tests {
         assert!((loglog2n(1 << 16) - 4.0).abs() < 1e-9);
         assert!((log2n(1) - 1.0).abs() < 1e-9, "floored at 1");
         assert!((loglog2n(2) - 1.0).abs() < 1e-9, "floored at 1");
+    }
+
+    #[test]
+    fn params_round_trip_through_json() {
+        let docs = [
+            Cluster1Config::default().params(),
+            Cluster2Config::default().params(),
+            Cluster3Config::default().params(),
+            PushPullConfig::default().params(),
+        ];
+        for p in docs {
+            assert_eq!(Value::parse(&p.render()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn apply_own_params_is_identity() {
+        let mut c2 = Cluster2Config::default();
+        c2.apply_params(&Cluster2Config::default().params())
+            .unwrap();
+        assert_eq!(c2, Cluster2Config::default());
+
+        let mut pp = PushPullConfig::default();
+        pp.apply_params(&PushPullConfig::default().params())
+            .unwrap();
+        assert_eq!(pp, PushPullConfig::default());
+    }
+
+    #[test]
+    fn apply_params_overrides_and_rejects() {
+        let mut c2 = Cluster2Config::default();
+        c2.apply_params(&Value::parse(r#"{"c_sample": 4, "assumed_n": 4096}"#).unwrap())
+            .unwrap();
+        assert!((c2.c_sample - 4.0).abs() < f64::EPSILON);
+        assert_eq!(c2.assumed_n, Some(4096));
+        c2.apply_params(&Value::parse(r#"{"assumed_n": null}"#).unwrap())
+            .unwrap();
+        assert_eq!(c2.assumed_n, None);
+
+        let err = c2
+            .apply_params(&Value::parse(r#"{"nope": 1}"#).unwrap())
+            .unwrap_err();
+        assert!(err.0.contains("valid keys"), "{err}");
+        let err = c2
+            .apply_params(&Value::parse(r#"{"grow_slack": 1.5}"#).unwrap())
+            .unwrap_err();
+        assert!(err.0.contains("integer"), "{err}");
+
+        // Nested overrides reach the inner config.
+        let mut c3 = Cluster3Config::default();
+        c3.apply_params(&Value::parse(r#"{"c2": {"pull_slack": 9}}"#).unwrap())
+            .unwrap();
+        assert_eq!(c3.c2.pull_slack, 9);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algo;
 pub mod cluster1;
 pub mod cluster2;
 pub mod cluster3;
@@ -45,16 +46,19 @@ pub mod estimate;
 pub mod follow;
 pub mod msg;
 pub mod node;
+pub mod params;
 pub mod primitives;
 pub mod report;
 pub mod sim;
 pub mod tasks;
 pub mod verify;
 
+pub use algo::{Algorithm, Law, Scenario};
 pub use config::{Cluster1Config, Cluster2Config, Cluster3Config, CommonConfig, PushPullConfig};
 pub use estimate::{broadcast_success_test, run_unknown_n, SuccessTest, UnknownNReport};
 pub use follow::Follow;
 pub use msg::{Msg, MsgKind};
 pub use node::ClusterNode;
+pub use params::{ParamError, Value};
 pub use report::{ClusteringStats, PhaseReport, RunReport};
 pub use sim::ClusterSim;

@@ -49,7 +49,7 @@ impl ClusterSim {
         let net = Network::with_state_fn(n, common.seed, |_idx, id| ClusterNode::new(id));
         let mut sim = ClusterSim {
             net,
-            id_bits: 2 * phonecall::header_bits(n) / 4, // 2·⌈log₂ n⌉
+            id_bits: phonecall::id_bits(n),
             rumor_bits: common.rumor_bits,
             rng: phonecall::rng_from_seed(phonecall::derive_seed(common.seed, 3)),
             phases: Vec::new(),

@@ -68,6 +68,22 @@ impl ScalingLaw {
     }
 }
 
+impl From<gossip_core::algo::Law> for ScalingLaw {
+    /// Maps an algorithm's complexity label onto the nearest fittable
+    /// `f(n)` candidate. The `Δ`-parameterized labels (`log n / log Δ`,
+    /// `⌈log_Δ n⌉`) fix `Δ` only at run time; at fixed `Δ` both are
+    /// `Θ(log n)` in `n`, which is the shape the fitter can test.
+    fn from(law: gossip_core::algo::Law) -> ScalingLaw {
+        use gossip_core::algo::Law;
+        match law {
+            Law::LogLog => ScalingLaw::LogLog,
+            Law::SqrtLog => ScalingLaw::SqrtLog,
+            Law::Log | Law::LogOverLogDelta | Law::TreeDepth => ScalingLaw::Log,
+            Law::LogSquared => ScalingLaw::LogSquared,
+        }
+    }
+}
+
 /// A fitted law: `y ≈ c·f(n)` with goodness `r2`.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct ScalingFit {

@@ -16,8 +16,8 @@ pub mod table;
 pub use fit::{fit_ratio, ScalingFit, ScalingLaw};
 pub use plot::AsciiPlot;
 pub use runner::{
-    default_threads, par_map_on, par_map_trials, par_map_trials_on, run_trials, run_trials_on,
-    run_trials_seq,
+    default_threads, par_map_on, par_map_trials, par_map_trials_on, run_algorithm_trials,
+    run_trials, run_trials_on, run_trials_seq,
 };
 pub use stats::Summary;
 pub use sweep::{geometric_ns, trial_seeds};

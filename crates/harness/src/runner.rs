@@ -10,6 +10,9 @@
 //! label at 1, 2, 4 and 7 threads). No thread-pool crate is involved —
 //! plain `std::thread::scope`.
 
+use gossip_core::algo::{Algorithm, Scenario};
+use gossip_core::report::RunReport;
+
 use crate::stats::Summary;
 use crate::sweep::trial_seeds;
 
@@ -125,6 +128,35 @@ pub fn run_trials(
     f: impl Fn(u64) -> f64 + Sync,
 ) -> Summary {
     run_trials_on(default_threads(), master_seed, label, trials, f)
+}
+
+/// Runs `trials` independently seeded executions of `algo` under the
+/// given scenario, fanned out across the parallel runner, and returns
+/// the full reports in seed order.
+///
+/// Trial seeds derive from `(scenario seed, algorithm name, index)` via
+/// [`trial_seeds`] — the same scheme the experiment binaries use — so
+/// reports are bit-identical at any thread count and across runs.
+///
+/// ```
+/// use gossip_core::algo::Scenario;
+/// use gossip_baselines::registry;
+///
+/// let scenario = Scenario::broadcast(256).seed(0xE1);
+/// let algo = registry::by_name("cluster2").unwrap();
+/// let reports = gossip_harness::run_algorithm_trials(algo, &scenario, 4);
+/// assert_eq!(reports.len(), 4);
+/// assert!(reports.iter().all(|r| r.success));
+/// ```
+#[must_use]
+pub fn run_algorithm_trials(
+    algo: &dyn Algorithm,
+    scenario: &Scenario,
+    trials: u32,
+) -> Vec<RunReport> {
+    par_map_trials(scenario.common().seed, algo.name(), trials, |seed| {
+        algo.run(&scenario.clone().seed(seed))
+    })
 }
 
 /// Sequential escape hatch: runs the trials one by one on the calling

@@ -101,4 +101,4 @@ pub use metrics::{Metrics, RoundStats};
 pub use network::{Network, NodeCtx};
 pub use rng::{derive_seed, rng_from_seed};
 pub use trace::{Event, EventKind, Trace};
-pub use wire::{header_bits, Wire};
+pub use wire::{header_bits, id_bits, Wire};

@@ -54,6 +54,20 @@ pub fn header_bits(n: usize) -> u64 {
     4 * log_n.max(1)
 }
 
+/// Width of a single node ID on the wire: `2·⌈log₂ n⌉` bits — an ID drawn
+/// from the canonical polynomially-large (`n²`-sized) ID space. Exactly
+/// half a [`header_bits`] envelope, which names two IDs (sender and
+/// receiver).
+///
+/// ```
+/// assert_eq!(phonecall::id_bits(1024), 20);
+/// assert_eq!(phonecall::id_bits(1024) * 2, phonecall::header_bits(1024));
+/// ```
+#[must_use]
+pub fn id_bits(n: usize) -> u64 {
+    header_bits(n) / 2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +78,22 @@ mod tests {
         assert_eq!(header_bits(1 << 10), 40);
         assert_eq!(header_bits(1 << 20), 80);
         assert!(header_bits(3) >= header_bits(2));
+    }
+
+    #[test]
+    fn id_bits_is_two_ceil_log2() {
+        // 2·⌈log₂ n⌉, pinned across the sizes the experiments sweep.
+        assert_eq!(id_bits(2), 2);
+        assert_eq!(id_bits(3), 4);
+        assert_eq!(id_bits(64), 12);
+        assert_eq!(id_bits(256), 16);
+        assert_eq!(id_bits(1 << 10), 20);
+        assert_eq!(id_bits(1 << 16), 32);
+        assert_eq!(id_bits(1 << 20), 40);
+        // Always exactly half the sender+receiver envelope.
+        for n in [2usize, 5, 100, 1 << 14] {
+            assert_eq!(2 * id_bits(n), header_bits(n));
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! The full shoot-out: every algorithm in the repository on one grid,
+//! The full shoot-out: every algorithm in the registry on one grid,
 //! with the paper's predicted scaling next to the measurement — a
 //! miniature of experiments E1/E2 (see EXPERIMENTS.md for the real ones).
+//!
+//! One [`Scenario`] describes the run; the registry supplies every
+//! algorithm as a `&dyn Algorithm` — no per-algorithm dispatch code.
 //!
 //! ```text
 //! cargo run --release --example algorithm_shootout
@@ -13,63 +16,21 @@ mod util;
 use util::arg_n;
 
 fn main() {
-    let top = arg_n(1 << 13).max(8);
-    let sizes = [(top >> 4).max(2), (top >> 2).max(4), top];
-    let mut common = CommonConfig::default();
-    common.seed = 5;
+    let top = arg_n(1 << 13).max(64);
+    let sizes = [(top >> 4).max(16), (top >> 2).max(32), top];
 
     println!("rounds (and msgs/node) to inform all nodes\n");
-    print!("{:<14} {:>10}", "algorithm", "law");
+    print!("{:<16} {:>12}", "algorithm", "law");
     for n in sizes {
         print!(" {:>16}", format!("n={n}"));
     }
     println!();
 
-    type Runner = Box<dyn Fn(usize) -> RunReport>;
-    let runs: Vec<(&str, &str, Runner)> = vec![
-        ("Cluster2", "loglog n", {
-            let common = common.clone();
-            Box::new(move |n| {
-                let mut c = Cluster2Config::default();
-                c.common = common.clone();
-                cluster2::run(n, &c)
-            })
-        }),
-        ("Cluster1", "loglog n", {
-            let common = common.clone();
-            Box::new(move |n| {
-                let mut c = Cluster1Config::default();
-                c.common = common.clone();
-                cluster1::run(n, &c)
-            })
-        }),
-        ("AvinElsasser", "sqrt(log)", {
-            let common = common.clone();
-            Box::new(move |n| avin_elsasser::run(n, &common))
-        }),
-        ("Karp", "log n", {
-            let common = common.clone();
-            Box::new(move |n| karp::run(n, &common))
-        }),
-        ("PushPull", "log n", {
-            let common = common.clone();
-            Box::new(move |n| push_pull::run(n, &common))
-        }),
-        ("Push", "log n", {
-            let common = common.clone();
-            Box::new(move |n| push::run(n, &common))
-        }),
-        ("Pull", "log n", {
-            let common = common.clone();
-            Box::new(move |n| pull::run(n, &common))
-        }),
-    ];
-
-    for (name, law, run) in &runs {
-        print!("{:<14} {:>10}", name, law);
-        for &n in &sizes {
-            let r = run(n);
-            assert!(r.success, "{name} failed at n={n}");
+    for algo in registry::all() {
+        print!("{:<16} {:>12}", algo.name(), algo.law().label());
+        for n in sizes {
+            let r = algo.run(&Scenario::broadcast(n).seed(5));
+            assert!(r.success, "{} failed at n={n}", algo.name());
             print!(
                 " {:>16}",
                 format!("{} ({:.0}m)", r.rounds, r.messages_per_node())

@@ -25,12 +25,15 @@ fn main() {
         "delta", "bound log n/log delta'", "loop iters", "max fan-in", "success"
     );
 
+    // Algorithm 3 from the registry; `Δ` rides in as a JSON parameter
+    // override (the same hook the `--algo` CLI uses).
+    let push_pull = registry::by_name("cluster-push-pull").unwrap();
+    let scenario = Scenario::broadcast(n).seed(7);
     for delta in [16usize, 64, 256, 1024].into_iter().filter(|d| *d <= n) {
-        let mut cfg = PushPullConfig::default();
-        cfg.common.seed = 7;
-        let report = cluster_push_pull::run(n, delta, &cfg);
+        let overrides = Value::parse(&format!(r#"{{"delta": {delta}}}"#)).unwrap();
+        let report = push_pull.run_with_params(&scenario, &overrides).unwrap();
         assert!(report.max_fan_in <= delta as u64, "fan-in bound violated");
-        let working = delta as f64 / cfg.cluster3.c_headroom;
+        let working = delta as f64 / PushPullConfig::default().cluster3.c_headroom;
         let bound = log2n(n) / (working / 2.0).log2().max(1.0);
         let loop_iters = report
             .phases

@@ -22,31 +22,22 @@ fn main() {
         "algorithm", "alive", "rounds", "msgs/node", "informed", "uninformed/F"
     );
 
-    for (name, fail) in [("Cluster2", true), ("Cluster2*", false), ("Karp", true)] {
-        let mut common = CommonConfig::default();
-        common.seed = 99;
+    for (label, algo_name, fail) in [
+        ("Cluster2", "cluster2", true),
+        ("Cluster2*", "cluster2", false),
+        ("Karp", "karp", true),
+    ] {
+        let mut scenario = Scenario::broadcast(n).seed(99);
         if fail {
-            common.failures = FailurePlan::random(n, f, 1234);
+            let failures = FailurePlan::random(n, f, 1234);
             // Keep the source alive (the task assumes a surviving source).
-            if common
-                .failures
-                .failed()
-                .iter()
-                .any(|i| i.0 == common.source)
-            {
-                common.source = (0..n as u32)
-                    .find(|i| !common.failures.failed().iter().any(|x| x.0 == *i))
-                    .expect("not all nodes failed");
-            }
+            let source = (0..n as u32)
+                .find(|i| !failures.failed().iter().any(|x| x.0 == *i))
+                .expect("not all nodes failed");
+            scenario = scenario.failures(failures).source(source);
         }
-        let report = match name {
-            "Karp" => karp::run(n, &common),
-            _ => {
-                let mut cfg = Cluster2Config::default();
-                cfg.common = common;
-                cluster2::run(n, &cfg)
-            }
-        };
+        let report = registry::by_name(algo_name).unwrap().run(&scenario);
+        let name = label;
         println!(
             "{:<10} {:>8} {:>10} {:>12.1} {:>16} {:>14.4}",
             name,

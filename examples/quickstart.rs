@@ -1,5 +1,6 @@
-//! Quickstart: broadcast a rumor with the paper's headline algorithm
-//! (`Cluster2`, Theorem 2) and inspect the cost report.
+//! Quickstart: describe a run with [`Scenario`], pick the paper's
+//! headline algorithm (`Cluster2`, Theorem 2) from the registry, and
+//! inspect the cost report.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -13,16 +14,17 @@ use util::arg_n;
 
 fn main() {
     let n = arg_n(1 << 14); // 16_384 nodes by default
-    let mut cfg = Cluster2Config::default();
-    cfg.common.seed = 42;
-    cfg.common.rumor_bits = 1024; // a 128-byte rumor
-    cfg.common.source = 7.min(n as u32 - 1); // node 7 knows it first
+    let scenario = Scenario::broadcast(n)
+        .seed(42)
+        .rumor_bits(1024) // a 128-byte rumor
+        .source(7.min(n as u32 - 1)); // node 7 knows it first
 
+    let cluster2 = registry::by_name("cluster2").unwrap();
     println!(
-        "Broadcasting a {}-bit rumor to {} nodes with Cluster2...\n",
-        cfg.common.rumor_bits, n
+        "Broadcasting a 1024-bit rumor to {n} nodes with {}...\n",
+        cluster2.name()
     );
-    let report = cluster2::run(n, &cfg);
+    let report = cluster2.run(&scenario);
 
     println!("success             : {}", report.success);
     println!("informed            : {}/{}", report.informed, report.alive);
@@ -33,9 +35,8 @@ fn main() {
         report.payload_messages_per_node()
     );
     println!(
-        "bits per node       : {:.0} (rumor is {} bits)",
-        report.bits_per_node(),
-        cfg.common.rumor_bits
+        "bits per node       : {:.0} (rumor is 1024 bits)",
+        report.bits_per_node()
     );
     println!("max per-round fan-in: {}", report.max_fan_in);
 
@@ -48,8 +49,9 @@ fn main() {
     }
 
     // The headline comparison: plain PUSH gossip needs Θ(log n) messages
-    // per node; Cluster2 needs O(1).
-    let push_report = push::run(n, &cfg.common);
+    // per node; Cluster2 needs O(1). Same scenario, different algorithm —
+    // that is the point of the registry.
+    let push_report = registry::by_name("push").unwrap().run(&scenario);
     println!(
         "\nversus plain PUSH gossip: {} rounds, {:.2} msgs/node (Θ(log n))",
         push_report.rounds,

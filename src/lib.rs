@@ -25,11 +25,20 @@
 //!
 //! # Quick start
 //!
+//! Describe *what* to run with a [`core::algo::Scenario`], then run it
+//! against any algorithm from the [`registry`] — the paper's four
+//! algorithms and all seven baselines behind one object-safe
+//! [`core::algo::Algorithm`] trait:
+//!
 //! ```
 //! use optimal_gossip::prelude::*;
 //!
-//! // Broadcast a rumor with the paper's headline algorithm.
-//! let report = cluster2::run(1 << 12, &Cluster2Config::default());
+//! // One scenario, many comparable runs.
+//! let scenario = Scenario::broadcast(1 << 12).seed(42).rumor_bits(1024);
+//!
+//! // The paper's headline algorithm...
+//! let cluster2 = registry::by_name("cluster2").unwrap();
+//! let report = cluster2.run(&scenario);
 //! assert!(report.success);
 //! println!(
 //!     "rounds: {}, messages/node: {:.1}, bits/node: {:.0}",
@@ -37,7 +46,28 @@
 //!     report.messages_per_node(),
 //!     report.bits_per_node()
 //! );
+//!
+//! // ...or the whole field at once.
+//! for algo in registry::all() {
+//!     let r = algo.run(&scenario);
+//!     println!("{:<16} {:>12} {} rounds", algo.name(), algo.law().label(), r.rounds);
+//! }
 //! ```
+//!
+//! Tunables override through JSON (the serde-style param hook):
+//!
+//! ```
+//! use optimal_gossip::prelude::*;
+//!
+//! let tree = registry::by_name("tree").unwrap();
+//! let overrides = Value::parse(r#"{"delta": 4}"#).unwrap();
+//! let r = tree.run_with_params(&Scenario::broadcast(1 << 10).seed(1), &overrides).unwrap();
+//! assert!(r.max_fan_in <= 4);
+//! ```
+//!
+//! The direct, fully typed entry points remain
+//! (`cluster2::run(n, &Cluster2Config)` and friends) — the trait impls
+//! are thin wrappers over them, bit-identical run for run.
 //!
 //! See `examples/` for runnable scenarios and EXPERIMENTS.md for the
 //! experiment suite reproducing every quantitative claim of the paper.
@@ -46,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub use gossip_baselines as baselines;
+pub use gossip_baselines::registry;
 pub use gossip_core as core;
 pub use gossip_harness as harness;
 pub use gossip_lowerbound as lowerbound;
@@ -53,13 +84,14 @@ pub use phonecall;
 
 /// Convenience prelude: the types and entry points most programs need.
 pub mod prelude {
+    pub use gossip_baselines::registry;
     pub use gossip_baselines::{avin_elsasser, karp, name_dropper, pull, push, push_pull};
     pub use gossip_core::{
         broadcast_success_test, cluster1, cluster2, cluster3, cluster_push_pull, estimate,
-        run_unknown_n, tasks, Cluster1Config, Cluster2Config, Cluster3Config, ClusterSim,
-        CommonConfig, PushPullConfig, RunReport,
+        run_unknown_n, tasks, Algorithm, Cluster1Config, Cluster2Config, Cluster3Config,
+        ClusterSim, CommonConfig, Law, ParamError, PushPullConfig, RunReport, Scenario, Value,
     };
-    pub use gossip_harness::{Summary, Table};
+    pub use gossip_harness::{run_algorithm_trials, Summary, Table};
     pub use gossip_lowerbound::estimate_success;
     pub use phonecall::{FailurePlan, Metrics, Network, NodeId, NodeIdx};
 }

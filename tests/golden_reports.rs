@@ -1,12 +1,16 @@
 //! Golden-report regression tests: a compact digest of [`RunReport`]
 //! (rounds, messages, bits, informed count) is pinned for every algorithm
-//! at fixed `(n, seed)` grid points.
+//! in the registry at fixed `(n, seed)` grid points.
 //!
 //! All randomness flows from the run seed, so these digests are exact —
 //! an engine or algorithm refactor that silently changes behavior (an
 //! extra RNG draw, a reordered delivery, a different accounting charge)
 //! fails loudly here rather than surfacing as a subtly shifted
 //! experiment table months later.
+//!
+//! The grid iterates `registry::all()`, so a newly registered algorithm
+//! fails the length check until its digests are pinned — no hand-kept
+//! algorithm list to forget to extend.
 //!
 //! To regenerate after an *intentional* behavior change, run
 //!
@@ -18,14 +22,20 @@
 //! when the change is meant to alter traffic patterns; the whole point of
 //! the table is to make that decision explicit.
 
-use gossip_bench::Algo;
+use optimal_gossip::prelude::*;
 
 /// One pinned grid point: (algorithm, n, seed, rounds, messages, bits,
 /// informed).
 type Golden = (&'static str, usize, u64, u64, u64, u64, usize);
 
-/// The pinned digests, generated from the seed engine (PR 2) at the grid
-/// `n ∈ {64, 256, 1024} × seed ∈ {1, 7}` for every compared algorithm.
+/// The pinned digests at the grid `n ∈ {64, 256, 1024} × seed ∈ {1, 7}`
+/// for every registered algorithm: the seven headline-comparison digests
+/// generated from the seed engine (PR 2, byte-identical through the
+/// `Algorithm` trait), then the `Δ`-parameterized algorithms (at their
+/// auto `Δ = max(16, ⌈√n⌉)`) and Name-Dropper, pinned when the registry
+/// was introduced. For the non-broadcast tasks `informed` follows the
+/// registry's report semantics: clustered nodes for `Cluster3`, nodes
+/// with complete knowledge for `NameDropper`.
 #[rustfmt::skip]
 const GOLDEN: &[Golden] = &[
     // (algo, n, seed, rounds, messages, bits, informed)
@@ -71,11 +81,35 @@ const GOLDEN: &[Golden] = &[
     ("Pull", 256, 7, 11, 2186, 143392, 256),
     ("Pull", 1024, 1, 16, 14074, 857584, 1024),
     ("Pull", 1024, 7, 14, 12030, 775824, 1024),
+    ("Cluster3", 64, 1, 108, 3338, 127024, 64),
+    ("Cluster3", 64, 7, 108, 3336, 128045, 64),
+    ("Cluster3", 256, 1, 108, 12978, 653690, 256),
+    ("Cluster3", 256, 7, 108, 12755, 643926, 256),
+    ("Cluster3", 1024, 1, 119, 69014, 4318355, 1024),
+    ("Cluster3", 1024, 7, 119, 68031, 4266283, 1024),
+    ("ClusterPushPull", 64, 1, 148, 4002, 277104, 64),
+    ("ClusterPushPull", 64, 7, 148, 4010, 277597, 64),
+    ("ClusterPushPull", 256, 1, 156, 16222, 1350394, 256),
+    ("ClusterPushPull", 256, 7, 156, 15970, 1341238, 256),
+    ("ClusterPushPull", 1024, 1, 163, 82737, 7431627, 1024),
+    ("ClusterPushPull", 1024, 7, 163, 81684, 7402099, 1024),
+    ("Tree", 64, 1, 2, 126, 21168, 64),
+    ("Tree", 64, 7, 2, 126, 21168, 64),
+    ("Tree", 256, 1, 2, 510, 89760, 256),
+    ("Tree", 256, 7, 2, 510, 89760, 256),
+    ("Tree", 1024, 1, 2, 2046, 376464, 1024),
+    ("Tree", 1024, 7, 2, 2046, 376464, 1024),
+    ("NameDropper", 64, 1, 20, 1280, 555200, 64),
+    ("NameDropper", 64, 7, 18, 1152, 445764, 64),
+    ("NameDropper", 256, 1, 26, 6656, 10949984, 256),
+    ("NameDropper", 256, 7, 25, 6400, 9813824, 256),
+    ("NameDropper", 1024, 1, 31, 31744, 205633104, 1024),
+    ("NameDropper", 1024, 7, 34, 34816, 264123936, 1024),
 ];
 
-fn grid() -> Vec<(Algo, usize, u64)> {
+fn grid() -> Vec<(&'static dyn Algorithm, usize, u64)> {
     let mut g = Vec::new();
-    for algo in Algo::all() {
+    for &algo in registry::all() {
         for n in [64usize, 256, 1024] {
             for seed in [1u64, 7] {
                 g.push((algo, n, seed));
@@ -85,8 +119,8 @@ fn grid() -> Vec<(Algo, usize, u64)> {
     g
 }
 
-fn digest(algo: Algo, n: usize, seed: u64) -> Golden {
-    let r = algo.run(n, seed);
+fn digest(algo: &dyn Algorithm, n: usize, seed: u64) -> Golden {
+    let r = algo.run(&Scenario::broadcast(n).seed(seed));
     (
         algo.name(),
         n,
@@ -110,7 +144,7 @@ fn run_reports_match_golden_digests() {
     assert_eq!(
         GOLDEN.len(),
         grid().len(),
-        "golden table out of sync with the grid; regenerate with GOLDEN_REGEN=1"
+        "golden table out of sync with the registry grid; regenerate with GOLDEN_REGEN=1"
     );
     for (&(name, n, seed, rounds, messages, bits, informed), (algo, gn, gseed)) in
         GOLDEN.iter().zip(grid())
@@ -127,10 +161,11 @@ fn run_reports_match_golden_digests() {
 
 #[test]
 fn golden_runs_all_succeed() {
-    // The digests above must describe *successful* broadcasts; a pinned
-    // failure would silently weaken every other experiment.
+    // The digests above must describe *successful* runs (broadcast
+    // complete, clustering complete, discovery closed); a pinned failure
+    // would silently weaken every other experiment.
     for (algo, n, seed) in grid() {
-        let r = algo.run(n, seed);
+        let r = algo.run(&Scenario::broadcast(n).seed(seed));
         assert!(
             r.success,
             "{} failed at (n={n}, seed={seed}): {}/{}",

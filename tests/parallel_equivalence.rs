@@ -9,7 +9,8 @@
 //! `assert_eq!` failure here means the parallel path reordered samples
 //! or shared RNG state across trials.
 
-use gossip_bench::Algo;
+use optimal_gossip::prelude::*;
+
 use gossip_harness::{run_trials_on, run_trials_seq, Summary};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
@@ -20,13 +21,13 @@ fn every_algorithm_label_is_thread_count_invariant() {
     // seed, the metric is the report's round count.
     let n = 256;
     let trials = 9; // deliberately not divisible by 2, 4, or 7
-    for algo in Algo::all() {
+    for algo in registry::compared() {
         let seq = run_trials_seq(0xE1, algo.name(), trials, |seed| {
-            algo.run(n, seed).rounds as f64
+            algo.run(&Scenario::broadcast(n).seed(seed)).rounds as f64
         });
         for threads in THREAD_COUNTS {
             let par = run_trials_on(threads, 0xE1, algo.name(), trials, |seed| {
-                algo.run(n, seed).rounds as f64
+                algo.run(&Scenario::broadcast(n).seed(seed)).rounds as f64
             });
             assert_eq!(
                 par,
@@ -42,13 +43,18 @@ fn every_algorithm_label_is_thread_count_invariant() {
 fn float_sensitive_metrics_are_thread_count_invariant() {
     // Messages-per-node means exercise non-trivial floating point; a
     // reassembly-order bug would change the sum's rounding.
+    let cluster2 = registry::by_name("Cluster2").unwrap();
     let seq = run_trials_seq(0xE2, "Cluster2", 11, |seed| {
-        Algo::Cluster2.run(512, seed).messages_per_node()
+        cluster2
+            .run(&Scenario::broadcast(512).seed(seed))
+            .messages_per_node()
     });
     assert!(seq.mean > 0.0);
     for threads in THREAD_COUNTS {
         let par = run_trials_on(threads, 0xE2, "Cluster2", 11, |seed| {
-            Algo::Cluster2.run(512, seed).messages_per_node()
+            cluster2
+                .run(&Scenario::broadcast(512).seed(seed))
+                .messages_per_node()
         });
         assert_eq!(par, seq, "diverged at {threads} threads");
     }

@@ -1,0 +1,167 @@
+//! Integration tests for the algorithm registry: the names are stable
+//! API, every algorithm module is registered, every parameter document
+//! survives a JSON round trip, and lookups fail helpfully.
+
+use optimal_gossip::prelude::*;
+use std::collections::BTreeSet;
+
+/// The registry's names are unique and pinned — experiment CSVs, BENCH
+/// records and the golden table all key on them.
+#[test]
+fn names_are_unique_and_stable() {
+    let names: Vec<&str> = registry::all().iter().map(|a| a.name()).collect();
+    let unique: BTreeSet<&str> = names.iter().copied().collect();
+    assert_eq!(unique.len(), names.len(), "duplicate names: {names:?}");
+    assert_eq!(
+        names,
+        [
+            "Cluster2",
+            "Cluster1",
+            "AvinElsasser",
+            "Karp",
+            "PushPull",
+            "Push",
+            "Pull",
+            "Cluster3",
+            "ClusterPushPull",
+            "Tree",
+            "NameDropper",
+        ],
+        "registry names/order are stable API"
+    );
+}
+
+/// Every algorithm module exported from `gossip_core`'s and
+/// `gossip_baselines`'s `lib.rs` module lists has a registry entry, under
+/// a name that normalizes to the module name.
+#[test]
+fn every_algorithm_module_is_registered() {
+    // The algorithm modules of the two crates' `lib.rs` files (the
+    // non-algorithm modules — config, report, primitives, common, … —
+    // have no `run` entry point to register).
+    let modules = [
+        // gossip_core
+        "cluster1",
+        "cluster2",
+        "cluster3",
+        "cluster_push_pull",
+        // gossip_baselines
+        "avin_elsasser",
+        "karp",
+        "name_dropper",
+        "pull",
+        "push",
+        "push_pull",
+        "tree",
+    ];
+    assert_eq!(
+        modules.len(),
+        registry::all().len(),
+        "module list and registry disagree on the algorithm count"
+    );
+    for module in modules {
+        let algo = registry::by_name(module)
+            .unwrap_or_else(|e| panic!("module {module} has no registry entry: {e}"));
+        // by_name is separator-insensitive, so the module name itself is
+        // a valid CLI spelling of the algorithm.
+        assert!(!algo.about().is_empty(), "{module} has no description");
+    }
+}
+
+/// Every algorithm's parameter document survives `render -> parse`, and
+/// feeding the defaults back as overrides changes nothing about the run.
+#[test]
+fn every_config_round_trips_through_json() {
+    let scenario = Scenario::broadcast(128).seed(3);
+    for algo in registry::all() {
+        let params = algo.default_params();
+        let doc = params.render();
+        let reparsed = Value::parse(&doc).unwrap_or_else(|e| {
+            panic!(
+                "{}: default params do not re-parse: {e}\n{doc}",
+                algo.name()
+            )
+        });
+        assert_eq!(
+            reparsed,
+            params,
+            "{}: JSON round trip lost data",
+            algo.name()
+        );
+        assert_eq!(
+            algo.run_with_params(&scenario, &reparsed).unwrap(),
+            algo.run(&scenario),
+            "{}: defaults-as-overrides changed the run",
+            algo.name()
+        );
+    }
+}
+
+/// Unknown names error out listing every valid name; unknown parameter
+/// keys error out naming the valid keys.
+#[test]
+fn unknown_lookups_are_helpful() {
+    let err = registry::by_name("raft").unwrap_err();
+    let msg = err.to_string();
+    for algo in registry::all() {
+        assert!(msg.contains(algo.name()), "{msg:?} missing {}", algo.name());
+    }
+
+    let scenario = Scenario::broadcast(64).seed(1);
+    for algo in registry::all() {
+        let err = algo
+            .run_with_params(&scenario, &Value::parse(r#"{"warp_factor": 9}"#).unwrap())
+            .expect_err("unknown key must be rejected");
+        assert!(
+            err.to_string().contains("warp_factor"),
+            "{}: error does not name the bad key: {err}",
+            algo.name()
+        );
+        // A non-object override document (e.g. double-encoded JSON) must
+        // error, not silently run with defaults.
+        let err = algo
+            .run_with_params(&scenario, &Value::Str(r#"{"delta": 4}"#.into()))
+            .expect_err("non-object overrides must be rejected");
+        assert!(
+            err.to_string().contains("JSON object"),
+            "{}: {err}",
+            algo.name()
+        );
+    }
+}
+
+/// The harness entry point fans an algorithm's trials out over the
+/// parallel runner with the same seed derivation the binaries use.
+#[test]
+fn run_algorithm_trials_is_deterministic_and_seed_ordered() {
+    let algo = registry::by_name("push").unwrap();
+    let scenario = Scenario::broadcast(256).seed(0xE1);
+    let a = run_algorithm_trials(algo, &scenario, 5);
+    let b = run_algorithm_trials(algo, &scenario, 5);
+    assert_eq!(a, b, "same scenario, same reports");
+    assert_eq!(a.len(), 5);
+    assert!(a.iter().all(|r| r.success));
+    // Trials are genuinely independently seeded, not clones.
+    assert!(
+        a.iter().any(|r| r.messages != a[0].messages),
+        "all trials identical — seeds not varied?"
+    );
+}
+
+/// The acceptance loop of the registry: every algorithm runs the default
+/// broadcast scenario through the trait with a successful report.
+#[test]
+fn registry_runs_default_broadcast_scenario() {
+    let scenario = Scenario::broadcast(512).seed(9);
+    for algo in registry::all() {
+        let r = algo.run(&scenario);
+        assert!(
+            r.success,
+            "{} failed: {}/{}",
+            algo.name(),
+            r.informed,
+            r.alive
+        );
+        assert_eq!(r.n, 512);
+    }
+}
