@@ -76,15 +76,22 @@ pub fn run(n: usize, topology: Topology, cfg: &CommonConfig) -> DiscoveryReport 
 
 /// Runs Name-Dropper and reports it in the common
 /// [`RunReport`](gossip_core::RunReport) shape
-/// (for the algorithm registry): `informed` counts nodes whose knowledge
-/// is complete (they know all `n` IDs) and `success` means discovery
-/// finished — every node knows every other.
+/// (for the algorithm registry): `informed` counts *alive* nodes whose
+/// knowledge is complete (they know all `n` IDs) and `success` means
+/// discovery finished — every alive node knows every other. Dead nodes
+/// are excluded from both, matching the broadcast baselines' survivor
+/// semantics (and keeping `informed ≤ alive` under churn).
 #[must_use]
 pub fn run_report(n: usize, topology: Topology, cfg: &CommonConfig) -> gossip_core::RunReport {
     use gossip_core::report::{ClusteringStats, RunReport};
     let net = run_net(n, topology, cfg);
     let m = net.metrics();
-    let informed = net.states().iter().filter(|s| s.known.len() == n).count();
+    let informed = net
+        .states()
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| net.is_alive(phonecall::NodeIdx(*i as u32)) && s.known.len() == n)
+        .count();
     RunReport {
         n,
         alive: net.alive_count(),
@@ -101,15 +108,28 @@ pub fn run_report(n: usize, topology: Topology, cfg: &CommonConfig) -> gossip_co
     }
 }
 
+/// Whether every *alive* node has complete knowledge. Permanently dead
+/// nodes can never learn, so counting them (as this once did) made
+/// discovery unwinnable under any failure plan or no-recovery churn —
+/// the loop always burned its full round cap.
 fn is_complete(net: &Network<DiscoveryNode>) -> bool {
     let n = net.len();
-    net.states().iter().all(|s| s.known.len() == n)
+    net.states()
+        .iter()
+        .enumerate()
+        .all(|(i, s)| !net.is_alive(phonecall::NodeIdx(i as u32)) || s.known.len() == n)
 }
 
 /// The shared discovery loop behind [`run`] and [`run_report`].
 fn run_net(n: usize, topology: Topology, cfg: &CommonConfig) -> Network<DiscoveryNode> {
     assert!(n >= 2, "discovery needs at least two nodes");
     let mut net: Network<DiscoveryNode> = Network::new(n, cfg.seed);
+    // Discovery faces the same environment as the broadcast tasks:
+    // failures, loss and the dynamic adversary (all inert by default, so
+    // historical runs are untouched).
+    net.apply_failures(&cfg.failures);
+    net.set_message_loss(cfg.message_loss);
+    net.set_churn(cfg.churn.clone(), phonecall::derive_seed(cfg.seed, 4));
     let id_bits = phonecall::id_bits(n);
 
     // Seed the initial knowledge graph.

@@ -1,4 +1,4 @@
-//! The one flag parser all nine `exp_e*` binaries share.
+//! The one flag parser all ten `exp_e*` binaries share.
 //!
 //! Flags:
 //!

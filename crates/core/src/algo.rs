@@ -22,7 +22,7 @@
 //! the trait impls here are thin wrappers over them, so every golden
 //! digest stays bit-identical whichever door a caller comes through.
 
-use phonecall::FailurePlan;
+use phonecall::{ChurnConfig, FailurePlan};
 
 use crate::config::{Cluster1Config, Cluster2Config, Cluster3Config, CommonConfig, PushPullConfig};
 use crate::params::{ParamError, Value};
@@ -140,9 +140,37 @@ impl Scenario {
     }
 
     /// Sets the independent per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics here — at the builder, naming the knob — rather than deep
+    /// inside `Network::set_message_loss` if `p` is not in `[0, 1]`.
     #[must_use]
     pub fn message_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "scenario knob \"message_loss\" wants a probability in [0, 1], got {p}"
+        );
         self.common.message_loss = p;
+        self
+    }
+
+    /// Attaches the dynamic adversary: per-round crash batches,
+    /// recoveries and Gilbert–Elliott burst loss (see
+    /// `phonecall::churn`). The schedule seeds off this scenario's run
+    /// seed, so every algorithm facing this scenario faces the *same*
+    /// crash/recovery/burst history.
+    ///
+    /// # Panics
+    ///
+    /// Panics at the builder if the config fails
+    /// [`ChurnConfig::validate`], with the offending knob named.
+    #[must_use]
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        if let Err(e) = churn.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        self.common.churn = churn;
         self
     }
 
@@ -433,6 +461,33 @@ mod tests {
         want.message_loss = 0.25;
         assert_eq!(s.common(), &want);
         assert_eq!(s.n(), 128);
+    }
+
+    #[test]
+    fn churn_builder_mirrors_common_config() {
+        let churn = ChurnConfig {
+            crash_rate: 0.2,
+            batch_size: 3,
+            recovery_rate: 0.25,
+            ..ChurnConfig::default()
+        };
+        let s = Scenario::broadcast(64).churn(churn.clone());
+        assert_eq!(s.common().churn, churn);
+    }
+
+    #[test]
+    #[should_panic(expected = "\"message_loss\" wants a probability")]
+    fn builder_rejects_out_of_range_loss() {
+        let _ = Scenario::broadcast(8).message_loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "\"recovery_rate\" wants a probability")]
+    fn builder_rejects_invalid_churn_naming_the_knob() {
+        let _ = Scenario::broadcast(8).churn(ChurnConfig {
+            recovery_rate: -0.5,
+            ..ChurnConfig::default()
+        });
     }
 
     #[test]

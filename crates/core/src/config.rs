@@ -7,10 +7,10 @@
 //! were validated across `n ∈ [2^8, 2^20]` (see the integration tests and
 //! EXPERIMENTS.md).
 
-use phonecall::FailurePlan;
+use phonecall::{ChurnConfig, FailurePlan, NodeIdx};
 use serde::{Deserialize, Serialize};
 
-use crate::params::{ParamError, Value};
+use crate::params::{err, ParamError, Value};
 
 /// Parameters shared by every algorithm run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -31,6 +31,11 @@ pub struct CommonConfig {
     /// — the paper's introduction names these among the failures gossip
     /// tolerates; 0.0 is the base model of Section 2).
     pub message_loss: f64,
+    /// The dynamic adversary: mid-run crash batches, recoveries and
+    /// Gilbert–Elliott burst loss (see `phonecall::churn`). Inert by
+    /// default, in which case nothing is scheduled and runs are
+    /// bit-identical to pre-churn builds.
+    pub churn: ChurnConfig,
 }
 
 impl Default for CommonConfig {
@@ -42,16 +47,231 @@ impl Default for CommonConfig {
             extra_sources: Vec::new(),
             failures: FailurePlan::none(),
             message_loss: 0.0,
+            churn: ChurnConfig::default(),
         }
     }
 }
 
 impl CommonConfig {
+    const PARAM_KEYS: &'static [&'static str] = &[
+        "seed",
+        "rumor_bits",
+        "source",
+        "extra_sources",
+        "failures",
+        "message_loss",
+        "churn",
+    ];
+
     /// Same configuration with a different seed (for multi-trial sweeps).
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// The whole environment as a JSON object: the scalar knobs, the
+    /// failure plan as an index array, and the [`ChurnConfig`] nested
+    /// under `"churn"` — so a scenario travels through files and perf
+    /// records like any algorithm's tunables.
+    #[must_use]
+    pub fn params(&self) -> Value {
+        Value::obj([
+            ("seed", u64_value(self.seed)),
+            ("rumor_bits", u64_value(self.rumor_bits)),
+            ("source", Value::Num(f64::from(self.source))),
+            (
+                "extra_sources",
+                Value::Arr(
+                    self.extra_sources
+                        .iter()
+                        .map(|&s| Value::Num(f64::from(s)))
+                        .collect(),
+                ),
+            ),
+            (
+                "failures",
+                Value::Arr(
+                    self.failures
+                        .failed()
+                        .iter()
+                        .map(|i| Value::Num(f64::from(i.0)))
+                        .collect(),
+                ),
+            ),
+            ("message_loss", Value::Num(self.message_loss)),
+            ("churn", churn_params(&self.churn)),
+        ])
+    }
+
+    /// Applies a JSON object of overrides onto this config, including a
+    /// nested `"churn"` object (see [`apply_churn_params`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown keys (listing the valid ones), wrongly typed
+    /// values, out-of-range probabilities (naming the offending knob),
+    /// and churn configs failing [`ChurnConfig::validate`].
+    pub fn apply_params(&mut self, overrides: &Value) -> Result<(), ParamError> {
+        for (key, v) in overrides.expect_obj("scenario parameters")? {
+            match key.as_str() {
+                "seed" => self.seed = want_u64(key, v)?,
+                "rumor_bits" => self.rumor_bits = want_u64(key, v)?,
+                "source" => self.source = want_u32(key, v)?,
+                "extra_sources" => {
+                    self.extra_sources = want_u32_array(key, v)?;
+                }
+                "failures" => {
+                    self.failures = FailurePlan::explicit(
+                        want_u32_array(key, v)?.into_iter().map(NodeIdx).collect(),
+                    );
+                }
+                "message_loss" => {
+                    let p = v.as_f64().ok_or_else(|| {
+                        err(format!(
+                            "parameter \"message_loss\" wants a number, got {}",
+                            v.render()
+                        ))
+                    })?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(err(format!(
+                            "scenario knob \"message_loss\" wants a probability in [0, 1], got {p}"
+                        )));
+                    }
+                    self.message_loss = p;
+                }
+                "churn" => apply_churn_params(&mut self.churn, v)?,
+                _ => return Err(unknown_key("scenario", key, Self::PARAM_KEYS)),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`ChurnConfig`] as a JSON object (the churn half of
+/// [`CommonConfig::params`]).
+#[must_use]
+pub fn churn_params(c: &ChurnConfig) -> Value {
+    Value::obj([
+        ("crash_rate", Value::Num(c.crash_rate)),
+        ("batch_size", Value::Num(f64::from(c.batch_size))),
+        ("recovery_rate", Value::Num(c.recovery_rate)),
+        ("burst_enter", Value::Num(c.burst_enter)),
+        ("burst_exit", Value::Num(c.burst_exit)),
+        ("burst_loss", Value::Num(c.burst_loss)),
+        ("start_round", u64_value(c.start_round)),
+        ("stop_round", c.stop_round.map_or(Value::Null, u64_value)),
+        (
+            "protected",
+            Value::Arr(
+                c.protected
+                    .iter()
+                    .map(|&p| Value::Num(f64::from(p)))
+                    .collect(),
+            ),
+        ),
+        ("max_crashed_frac", Value::Num(c.max_crashed_frac)),
+    ])
+}
+
+const CHURN_PARAM_KEYS: &[&str] = &[
+    "crash_rate",
+    "batch_size",
+    "recovery_rate",
+    "burst_enter",
+    "burst_exit",
+    "burst_loss",
+    "start_round",
+    "stop_round",
+    "protected",
+    "max_crashed_frac",
+];
+
+/// Applies a JSON object of overrides onto a [`ChurnConfig`] and
+/// validates the result.
+///
+/// # Errors
+///
+/// Rejects unknown keys (listing the valid ones), wrongly typed values,
+/// and any resulting config failing [`ChurnConfig::validate`] (the error
+/// names the offending knob).
+pub fn apply_churn_params(c: &mut ChurnConfig, overrides: &Value) -> Result<(), ParamError> {
+    for (key, v) in overrides.expect_obj("churn parameters")? {
+        match key.as_str() {
+            "crash_rate" => set_f64(&mut c.crash_rate, key, v)?,
+            "batch_size" => set_u32(&mut c.batch_size, key, v)?,
+            "recovery_rate" => set_f64(&mut c.recovery_rate, key, v)?,
+            "burst_enter" => set_f64(&mut c.burst_enter, key, v)?,
+            "burst_exit" => set_f64(&mut c.burst_exit, key, v)?,
+            "burst_loss" => set_f64(&mut c.burst_loss, key, v)?,
+            "start_round" => c.start_round = want_u64(key, v)?,
+            "stop_round" => {
+                c.stop_round = match v {
+                    Value::Null => None,
+                    _ => Some(want_u64(key, v)?),
+                }
+            }
+            "protected" => c.protected = want_u32_array(key, v)?,
+            "max_crashed_frac" => set_f64(&mut c.max_crashed_frac, key, v)?,
+            _ => return Err(unknown_key("churn", key, CHURN_PARAM_KEYS)),
+        }
+    }
+    c.validate().map_err(ParamError)
+}
+
+/// A `u64` as a JSON value: a plain number when exactly representable
+/// as `f64` (≤ 2^53), else a decimal string — JSON numbers are doubles,
+/// and silently rounding a 64-bit seed would break exact replay.
+fn u64_value(x: u64) -> Value {
+    if x <= (1u64 << 53) {
+        Value::Num(x as f64)
+    } else {
+        Value::Str(x.to_string())
+    }
+}
+
+/// Numeric view of an override value, reporting type errors by key.
+fn want_f64(key: &str, v: &Value) -> Result<f64, ParamError> {
+    v.as_f64().ok_or_else(|| {
+        err(format!(
+            "parameter {key:?} wants a number, got {}",
+            v.render()
+        ))
+    })
+}
+
+/// Integer view of an override value (a JSON number, or the decimal
+/// string [`u64_value`] emits for values above 2^53), reporting type
+/// errors by key.
+fn want_u64(key: &str, v: &Value) -> Result<u64, ParamError> {
+    match v {
+        Value::Str(s) => s.parse().map_err(|_| {
+            err(format!(
+                "parameter {key:?} wants an integer, got {}",
+                v.render()
+            ))
+        }),
+        _ => v.as_u64().ok_or_else(|| {
+            err(format!(
+                "parameter {key:?} wants an integer, got {}",
+                v.render()
+            ))
+        }),
+    }
+}
+
+fn want_u32(key: &str, v: &Value) -> Result<u32, ParamError> {
+    let x = want_u64(key, v)?;
+    u32::try_from(x).map_err(|_| err(format!("parameter {key:?} out of range: {x}")))
+}
+
+fn want_u32_array(key: &str, v: &Value) -> Result<Vec<u32>, ParamError> {
+    match v {
+        Value::Arr(items) => items.iter().map(|x| want_u32(key, x)).collect(),
+        _ => Err(err(format!(
+            "parameter {key:?} wants an array of integers, got {}",
+            v.render()
+        ))),
     }
 }
 
@@ -203,25 +423,13 @@ impl Default for PushPullConfig {
 
 /// Applies one numeric override, reporting type errors by key.
 fn set_f64(slot: &mut f64, key: &str, v: &Value) -> Result<(), ParamError> {
-    *slot = v.as_f64().ok_or_else(|| {
-        ParamError(format!(
-            "parameter {key:?} wants a number, got {}",
-            v.render()
-        ))
-    })?;
+    *slot = want_f64(key, v)?;
     Ok(())
 }
 
 /// Applies one integer override, reporting type errors by key.
 fn set_u32(slot: &mut u32, key: &str, v: &Value) -> Result<(), ParamError> {
-    let x = v.as_u64().ok_or_else(|| {
-        ParamError(format!(
-            "parameter {key:?} wants an integer, got {}",
-            v.render()
-        ))
-    })?;
-    *slot =
-        u32::try_from(x).map_err(|_| ParamError(format!("parameter {key:?} out of range: {x}")))?;
+    *slot = want_u32(key, v)?;
     Ok(())
 }
 
@@ -498,6 +706,82 @@ mod tests {
         c3.apply_params(&Value::parse(r#"{"c2": {"pull_slack": 9}}"#).unwrap())
             .unwrap();
         assert_eq!(c3.c2.pull_slack, 9);
+    }
+
+    #[test]
+    fn common_and_churn_params_round_trip_through_json() {
+        let mut common = CommonConfig::default();
+        common.seed = 99;
+        common.extra_sources = vec![3, 5];
+        common.failures = FailurePlan::explicit(vec![NodeIdx(8), NodeIdx(2)]);
+        common.message_loss = 0.125;
+        common.churn = ChurnConfig {
+            crash_rate: 0.25,
+            batch_size: 4,
+            recovery_rate: 0.1,
+            burst_enter: 0.05,
+            burst_exit: 0.3,
+            burst_loss: 0.6,
+            start_round: 2,
+            stop_round: Some(40),
+            protected: vec![0],
+            max_crashed_frac: 0.4,
+        };
+        let doc = common.params();
+        assert_eq!(Value::parse(&doc.render()).unwrap(), doc, "JSON stable");
+        let mut rebuilt = CommonConfig::default();
+        rebuilt.apply_params(&doc).unwrap();
+        assert_eq!(rebuilt, common, "apply(params()) is the identity");
+    }
+
+    #[test]
+    fn full_width_u64_knobs_round_trip_exactly() {
+        // JSON numbers are doubles; seeds above 2^53 (e.g. derive_seed
+        // outputs) travel as decimal strings so replay stays exact.
+        let mut common = CommonConfig::default();
+        common.seed = u64::MAX - 12345;
+        common.churn.crash_rate = 0.1;
+        common.churn.start_round = (1 << 60) + 1;
+        common.churn.stop_round = Some(u64::MAX);
+        let doc = common.params();
+        let mut rebuilt = CommonConfig::default();
+        rebuilt
+            .apply_params(&Value::parse(&doc.render()).unwrap())
+            .unwrap();
+        assert_eq!(rebuilt, common, "no f64 rounding of 64-bit knobs");
+    }
+
+    #[test]
+    fn churn_apply_rejects_bad_keys_and_values() {
+        let mut c = ChurnConfig::default();
+        let e = apply_churn_params(&mut c, &Value::parse(r#"{"crash_rat": 0.5}"#).unwrap())
+            .unwrap_err();
+        assert!(e.0.contains("valid keys"), "{e}");
+        let e = apply_churn_params(&mut c, &Value::parse(r#"{"crash_rate": 1.5}"#).unwrap())
+            .unwrap_err();
+        assert!(e.0.contains("\"crash_rate\""), "{e}");
+        let e = apply_churn_params(&mut c, &Value::parse(r#"{"batch_size": 0.5}"#).unwrap())
+            .unwrap_err();
+        assert!(e.0.contains("integer"), "{e}");
+        // stop_round accepts null.
+        apply_churn_params(
+            &mut c,
+            &Value::parse(r#"{"stop_round": 12, "crash_rate": 0.5}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.stop_round, Some(12));
+        apply_churn_params(&mut c, &Value::parse(r#"{"stop_round": null}"#).unwrap()).unwrap();
+        assert_eq!(c.stop_round, None);
+    }
+
+    #[test]
+    fn common_apply_rejects_out_of_range_loss_naming_the_knob() {
+        let mut common = CommonConfig::default();
+        let e = common
+            .apply_params(&Value::parse(r#"{"message_loss": 2}"#).unwrap())
+            .unwrap_err();
+        assert!(e.0.contains("\"message_loss\""), "{e}");
+        assert!(e.0.contains("probability"), "{e}");
     }
 
     #[test]

@@ -153,7 +153,10 @@ pub fn unclustered_pull_round(sim: &mut ClusterSim) -> usize {
         },
     );
     clear_responses(sim);
-    sim.clustered_count() - before
+    // Saturating: under mid-run churn the alive clustered count can
+    // *shrink* across the round (a crash batch at the boundary), which
+    // would underflow a plain subtraction.
+    sim.clustered_count().saturating_sub(before)
 }
 
 #[cfg(test)]

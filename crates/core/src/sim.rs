@@ -57,6 +57,10 @@ impl ClusterSim {
         };
         sim.apply_failures(&common.failures);
         sim.net.set_message_loss(common.message_loss);
+        // Stream label 4: 1/2 are the engine's (ids, targets), 3 is the
+        // algorithm RNG above. Inert configs schedule nothing.
+        sim.net
+            .set_churn(common.churn.clone(), phonecall::derive_seed(common.seed, 4));
         sim.net.states_mut()[common.source as usize].informed = true;
         for &extra in &common.extra_sources {
             assert!((extra as usize) < n, "extra source index out of range");

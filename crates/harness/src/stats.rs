@@ -25,6 +25,14 @@ pub struct Summary {
 impl Summary {
     /// Summarizes a sample set. Returns the default (all zeros) for an
     /// empty input.
+    ///
+    /// NaN samples are tolerated, not rejected: the order statistics
+    /// (`min`/`median`/`max`) use [`f64::total_cmp`], which places
+    /// positive NaNs after `+inf` (and negative NaNs before `-inf`)
+    /// instead of panicking, and the moment statistics (`mean`, `sd`,
+    /// `ci95`) propagate NaN as IEEE arithmetic does — a poisoned metric
+    /// surfaces as NaN in the table rather than as a crash or a silently
+    /// dropped sample.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
@@ -39,7 +47,7 @@ impl Summary {
         };
         let sd = var.sqrt();
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        sorted.sort_by(f64::total_cmp);
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {
@@ -91,6 +99,18 @@ mod tests {
         assert!((s.mean - 7.0).abs() < 1e-12);
         assert_eq!(s.sd, 0.0);
         assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn nan_samples_summarize_without_panicking() {
+        // Regression: this used to panic through partial_cmp().expect().
+        let s = Summary::from_samples(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(s.count, 3);
+        assert!(s.mean.is_nan(), "moments propagate NaN");
+        assert!(s.sd.is_nan());
+        assert!((s.min - 1.0).abs() < 1e-12, "total order: NaN sorts last");
+        assert!((s.median - 2.0).abs() < 1e-12);
+        assert!(s.max.is_nan());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! equivalent to a uniformly random failure set — which is exactly how
 //! [`FailurePlan::random`] samples.
 
-use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -44,10 +45,20 @@ impl FailurePlan {
     pub fn random(n: usize, f: usize, seed: u64) -> Self {
         assert!(f <= n, "cannot fail more nodes than exist");
         let mut rng = rng_from_seed(seed);
-        let mut all: Vec<NodeIdx> = (0..n as u32).map(NodeIdx).collect();
-        all.shuffle(&mut rng);
-        all.truncate(f);
-        Self::explicit(all)
+        // Sparse partial Fisher–Yates: only the first `f` slots of the
+        // virtual permutation of 0..n are ever drawn, and displaced
+        // values live in a map — O(f) expected time and memory instead
+        // of materializing and shuffling all n ids.
+        let mut displaced: HashMap<u32, u32> = HashMap::with_capacity(f);
+        let mut failed = Vec::with_capacity(f);
+        for i in 0..f as u32 {
+            let j = rng.gen_range(i..n as u32);
+            let at_j = displaced.get(&j).copied().unwrap_or(j);
+            let at_i = displaced.get(&i).copied().unwrap_or(i);
+            displaced.insert(j, at_i);
+            failed.push(NodeIdx(at_j));
+        }
+        Self::explicit(failed)
     }
 
     /// Fails each node independently with probability `p`.
@@ -115,5 +126,32 @@ mod tests {
     #[should_panic(expected = "cannot fail more nodes")]
     fn overfull_plan_panics() {
         let _ = FailurePlan::random(4, 5, 0);
+    }
+
+    #[test]
+    fn full_plan_fails_every_node() {
+        // The partial Fisher–Yates degenerates to a full permutation at
+        // f == n; every node must appear exactly once.
+        let p = FailurePlan::random(50, 50, 3);
+        assert_eq!(
+            p.failed(),
+            (0..50u32).map(NodeIdx).collect::<Vec<_>>().as_slice()
+        );
+    }
+
+    #[test]
+    fn random_plans_are_roughly_uniform() {
+        // Each node should land in a 10-of-100 plan about 1 time in 10.
+        let mut hits = vec![0u32; 100];
+        for seed in 0..400 {
+            for idx in FailurePlan::random(100, 10, seed).failed() {
+                hits[idx.as_usize()] += 1;
+            }
+        }
+        let (lo, hi) = (*hits.iter().min().unwrap(), *hits.iter().max().unwrap());
+        assert!(
+            lo >= 15 && hi <= 70,
+            "expected ~40 hits/node, got {lo}..{hi}"
+        );
     }
 }

@@ -39,7 +39,12 @@
 //!   answered pulls), the quantity bounded in Section 7 of the paper;
 //! * **failures** — an oblivious adversary may fail any set of nodes at
 //!   time 0 (or between rounds); failed nodes never act, never respond, and
-//!   silently swallow messages addressed to them.
+//!   silently swallow messages addressed to them. A *dynamic* adversary
+//!   ([`ChurnConfig`] / [`Network::set_churn`]) additionally crashes
+//!   correlated batches mid-run, recovers them probabilistically, and
+//!   drives Gilbert–Elliott burst message loss — all from its own
+//!   seed-derived stream, so runs without churn are bit-identical to
+//!   runs before the subsystem existed.
 //!
 //! # Determinism
 //!
@@ -84,6 +89,7 @@
 #![warn(missing_debug_implementations)]
 
 mod action;
+mod churn;
 mod error;
 mod failure;
 mod id;
@@ -94,6 +100,7 @@ mod trace;
 mod wire;
 
 pub use action::{Action, Delivery, Target};
+pub use churn::{AdversarySchedule, ChurnConfig, ChurnRound};
 pub use error::PhoneCallError;
 pub use failure::FailurePlan;
 pub use id::{IdSpace, NodeId, NodeIdx};

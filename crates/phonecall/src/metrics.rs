@@ -42,6 +42,13 @@ pub struct Metrics {
     /// paper's algorithms keep this at `Θ(log n)` except for rumor shares
     /// and `ClusterResize` announcements (its Section 3.2 footnote).
     pub max_message_bits: u64,
+    /// Nodes crashed mid-run by the dynamic adversary (see
+    /// [`crate::ChurnConfig`]; time-0 failure plans are not counted here).
+    pub crashes: u64,
+    /// Mid-run recoveries of adversary-crashed nodes.
+    pub recoveries: u64,
+    /// Rounds spent in the burst-loss chain's bad state.
+    pub burst_rounds: u64,
     /// Per-round breakdown (always recorded; one small struct per round).
     pub per_round: Vec<RoundStats>,
 }
@@ -78,6 +85,9 @@ impl Metrics {
         self.pull_replies += other.pull_replies;
         self.max_fan_in = self.max_fan_in.max(other.max_fan_in);
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.burst_rounds += other.burst_rounds;
         self.per_round.extend(other.per_round.iter().copied());
     }
 }

@@ -25,6 +25,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::action::{Action, Delivery, Target};
+use crate::churn::{AdversarySchedule, ChurnConfig};
 use crate::failure::FailurePlan;
 use crate::id::{IdSpace, NodeId, NodeIdx};
 use crate::metrics::{Metrics, RoundStats};
@@ -62,6 +63,9 @@ pub struct Network<S> {
     /// Independent per-message loss probability (transient link failures;
     /// 0.0 = reliable links, the paper's base model).
     loss: f64,
+    /// The dynamic adversary, if one is attached (see [`ChurnConfig`]):
+    /// applied at the start of every round, from its own random stream.
+    churn: Option<AdversarySchedule>,
     // Scratch buffers reused across rounds to avoid per-round allocation.
     fan_in: Vec<u32>,
     scratch: ScratchCell,
@@ -169,6 +173,7 @@ impl<S> Network<S> {
             header_bits: header_bits(n),
             trace: Trace::disabled(),
             loss: 0.0,
+            churn: None,
             fan_in: vec![0; n],
             scratch: ScratchCell::default(),
         }
@@ -195,6 +200,7 @@ impl<S> Network<S> {
             header_bits: header_bits(n),
             trace: Trace::disabled(),
             loss: 0.0,
+            churn: None,
             fan_in: vec![0; n],
             scratch: ScratchCell::default(),
         }
@@ -211,6 +217,30 @@ impl<S> Network<S> {
     pub fn set_message_loss(&mut self, p: f64) {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         self.loss = p;
+    }
+
+    /// Attaches the dynamic adversary (see [`ChurnConfig`]): per-round
+    /// crash batches, recoveries and Gilbert–Elliott burst loss, applied
+    /// at the start of every subsequent [`Self::round`] from a random
+    /// stream derived from `seed` (independent of the engine RNG). An
+    /// inert config ([`ChurnConfig::is_active`] false) detaches any
+    /// schedule, leaving the run bit-identical to one that never called
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`ChurnConfig::validate`] or protects
+    /// a node outside this network.
+    pub fn set_churn(&mut self, cfg: ChurnConfig, seed: u64) {
+        self.churn = cfg
+            .is_active()
+            .then(|| AdversarySchedule::new(cfg, self.len(), seed));
+    }
+
+    /// The attached dynamic-adversary schedule, if any.
+    #[must_use]
+    pub fn churn_schedule(&self) -> Option<&AdversarySchedule> {
+        self.churn.as_ref()
     }
 
     /// Number of nodes (alive and failed).
@@ -344,6 +374,23 @@ impl<S> Network<S> {
             round: self.round,
             ..Default::default()
         };
+
+        // Phase 0: the dynamic adversary (if any) moves at the round
+        // boundary — crashes, recoveries and the burst-loss chain — from
+        // its own random stream, so churn-off runs draw the exact same
+        // engine RNG sequence as before churn existed. Burst loss
+        // composes with the base loss knob for this round only.
+        let mut loss = self.loss;
+        if let Some(churn) = self.churn.as_mut() {
+            let ev = churn.advance(self.round, &mut self.alive);
+            self.metrics.crashes += u64::from(ev.crashed);
+            self.metrics.recoveries += u64::from(ev.recovered);
+            if ev.bursting {
+                self.metrics.burst_rounds += 1;
+                loss = 1.0 - (1.0 - loss) * (1.0 - churn.extra_loss());
+            }
+        }
+
         self.fan_in.iter_mut().for_each(|c| *c = 0);
         let mut scratch = self.scratch.take::<M>();
 
@@ -394,8 +441,14 @@ impl<S> Network<S> {
         // no response arrives.
         for &(_, dst) in &scratch.pulls {
             let d = dst.as_usize();
-            let lost =
-                self.loss > 0.0 && (self.rng.gen_bool(self.loss) || self.rng.gen_bool(self.loss));
+            // Both legs are sampled unconditionally so the number of RNG
+            // draws never depends on the first draw's outcome — the
+            // stream stays stable under loss-model refactors.
+            let lost = loss > 0.0 && {
+                let request_lost = self.rng.gen_bool(loss);
+                let reply_lost = self.rng.gen_bool(loss);
+                request_lost | reply_lost
+            };
             let resp = if self.alive[d] && !lost {
                 respond(&self.states[d])
             } else {
@@ -415,7 +468,7 @@ impl<S> Network<S> {
             self.metrics.pushes += 1;
             self.metrics.payload_messages += 1;
             self.fan_in[d] += 1;
-            let lost = self.loss > 0.0 && self.rng.gen_bool(self.loss);
+            let lost = loss > 0.0 && self.rng.gen_bool(loss);
             if self.alive[d] && !lost {
                 self.trace.record(Event {
                     round: self.round,
@@ -760,6 +813,122 @@ mod tests {
     fn invalid_loss_rejected() {
         let mut net: Network<St> = Network::new(4, 0);
         net.set_message_loss(1.5);
+    }
+
+    #[test]
+    fn inert_churn_changes_nothing() {
+        let run = |attach_inert: bool| {
+            let mut net: Network<St> = Network::new(64, 12);
+            if attach_inert {
+                net.set_churn(ChurnConfig::default(), 999);
+            }
+            for _ in 0..6 {
+                everyone_pushes(&mut net);
+            }
+            (
+                net.metrics().clone(),
+                net.states().iter().map(|s| s.pushes).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true), "inert configs must not perturb");
+    }
+
+    #[test]
+    fn churn_crashes_then_recoveries_reenter_the_round() {
+        let mut net: Network<St> = Network::new(32, 13);
+        net.set_churn(
+            ChurnConfig {
+                crash_rate: 1.0,
+                batch_size: 5,
+                recovery_rate: 1.0,
+                start_round: 1,
+                stop_round: Some(2),
+                ..ChurnConfig::default()
+            },
+            77,
+        );
+        assert_eq!(everyone_pushes(&mut net).initiators, 32, "before window");
+        let crashed_round = everyone_pushes(&mut net);
+        assert_eq!(
+            crashed_round.initiators, 27,
+            "the batch crashes at the boundary, before decide"
+        );
+        assert_eq!(net.alive_count(), 27);
+        let recovered_round = everyone_pushes(&mut net);
+        assert_eq!(
+            recovered_round.initiators, 32,
+            "full recovery at the next boundary; recovered nodes act again"
+        );
+        assert_eq!(net.metrics().crashes, 5);
+        assert_eq!(net.metrics().recoveries, 5);
+    }
+
+    #[test]
+    fn time0_failures_never_recover_under_churn() {
+        let mut net: Network<St> = Network::new(8, 14);
+        net.apply_failures(&FailurePlan::explicit(vec![NodeIdx(3)]));
+        net.set_churn(
+            ChurnConfig {
+                recovery_rate: 1.0,
+                crash_rate: 0.0,
+                burst_enter: 0.0,
+                ..ChurnConfig::default()
+            },
+            5,
+        );
+        // recovery_rate alone makes the config active, but the failure
+        // plan's victim is not the adversary's to revive.
+        for _ in 0..10 {
+            everyone_pushes(&mut net);
+        }
+        assert!(!net.is_alive(NodeIdx(3)));
+        assert_eq!(net.metrics().recoveries, 0);
+    }
+
+    #[test]
+    fn burst_loss_modulates_the_loss_knob_per_round() {
+        let mut net: Network<St> = Network::new(64, 15);
+        net.set_churn(
+            ChurnConfig {
+                burst_enter: 1.0,
+                burst_exit: 0.0,
+                burst_loss: 1.0,
+                ..ChurnConfig::default()
+            },
+            6,
+        );
+        everyone_pushes(&mut net);
+        let delivered: u32 = net.states().iter().map(|s| s.pushes).sum();
+        assert_eq!(delivered, 0, "permanent full burst loses everything");
+        assert_eq!(net.metrics().messages, 64, "senders still paid");
+        assert_eq!(net.metrics().burst_rounds, 1);
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic_per_seed() {
+        let run = || {
+            let mut net: Network<St> = Network::new(128, 16);
+            net.set_churn(
+                ChurnConfig {
+                    crash_rate: 0.5,
+                    batch_size: 3,
+                    recovery_rate: 0.3,
+                    burst_enter: 0.2,
+                    burst_exit: 0.4,
+                    burst_loss: 0.5,
+                    ..ChurnConfig::default()
+                },
+                42,
+            );
+            for _ in 0..20 {
+                everyone_pushes(&mut net);
+            }
+            (
+                net.metrics().clone(),
+                net.states().iter().map(|s| s.pushes).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use phonecall::{Action, Delivery, Network, Target};
+use phonecall::{Action, ChurnConfig, Delivery, Network, Target};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -103,4 +103,40 @@ fn round_loop_does_not_allocate_in_steady_state() {
     let m = net.metrics();
     assert!(m.pushes > 0 && m.pull_requests > 0 && m.pull_replies > 0);
     assert_eq!(m.rounds as usize, MEASURED_ROUNDS + 2);
+
+    // Same contract with the dynamic adversary attached: crash batches,
+    // recoveries and the burst chain all mutate preallocated masks, so
+    // an active schedule must not cost a single steady-state allocation
+    // either.
+    let mut churny: Network<St> = Network::new(1 << 10, 43);
+    churny.set_churn(
+        ChurnConfig {
+            crash_rate: 0.5,
+            batch_size: 8,
+            recovery_rate: 0.3,
+            burst_enter: 0.2,
+            burst_exit: 0.4,
+            burst_loss: 0.5,
+            ..ChurnConfig::default()
+        },
+        99,
+    );
+    mixed_round(&mut churny);
+    mixed_round(&mut churny);
+    churny.reserve_rounds(MEASURED_ROUNDS + 1);
+
+    let before = allocations();
+    for _ in 0..MEASURED_ROUNDS {
+        mixed_round(&mut churny);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "churn-enabled round loop allocated {during} times over {MEASURED_ROUNDS} rounds"
+    );
+    let m = churny.metrics();
+    assert!(
+        m.crashes > 0 && m.recoveries > 0 && m.burst_rounds > 0,
+        "the schedule must actually have fired for the zero to mean anything"
+    );
 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the phone-call engine itself.
 
-use phonecall::{Action, Delivery, FailurePlan, Network, Target, Wire};
+use phonecall::{Action, ChurnConfig, Delivery, FailurePlan, Network, Target, Wire};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -107,6 +107,58 @@ proptest! {
         prop_assert_eq!(sum_bits, m.bits);
         let max_fan: u64 = m.per_round.iter().map(|r| r.max_fan_in).max().unwrap_or(0);
         prop_assert_eq!(max_fan, m.max_fan_in);
+    }
+
+    /// Recovered nodes re-enter the address-oblivious contact
+    /// distribution: after a one-round crash batch fully recovers, the
+    /// previously crashed nodes both initiate again (initiators return
+    /// to n) and are hit by other nodes' uniformly random pushes — no
+    /// sender state remembers them as dead.
+    #[test]
+    fn recovered_nodes_reenter_the_contact_distribution(
+        n in 8usize..200,
+        seed in 0u64..1000,
+        // Stays below the adversary budget (max_crashed_frac/2 of the
+        // smallest n) so the full batch always lands.
+        batch in 1u32..4,
+    ) {
+        let mut net: Network<St> = Network::new(n, seed);
+        net.set_churn(
+            ChurnConfig {
+                crash_rate: 1.0,
+                batch_size: batch,
+                recovery_rate: 1.0,
+                start_round: 1,
+                stop_round: Some(2),
+                ..ChurnConfig::default()
+            },
+            seed ^ 0xC4,
+        );
+        let push_round = |net: &mut Network<St>| {
+            net.round(
+                |_ctx, _rng| Action::Push { to: Target::Random, msg: Blob(1) },
+                |_s| None,
+                |s, d| if matches!(d, Delivery::Push { .. }) { s.got += 1 },
+            )
+        };
+        prop_assert_eq!(push_round(&mut net).initiators as usize, n);
+        let crashed_round = push_round(&mut net);
+        prop_assert_eq!(crashed_round.initiators as usize, n - batch as usize);
+        // Full recovery at the next boundary: everyone initiates again.
+        let recovered_round = push_round(&mut net);
+        prop_assert_eq!(recovered_round.initiators as usize, n);
+        prop_assert_eq!(net.metrics().crashes, u64::from(batch));
+        prop_assert_eq!(net.metrics().recoveries, u64::from(batch));
+        // Re-entry on the receiving side: with everyone pushing one
+        // random target per round, 40 more rounds leave the chance of
+        // any fixed node never being contacted below e^-40 — a miss here
+        // means recovered nodes fell out of the sampling distribution.
+        for _ in 0..40 {
+            push_round(&mut net);
+        }
+        for (i, s) in net.states().iter().enumerate() {
+            prop_assert!(s.got > 0, "node {i} was never contacted after recovery");
+        }
     }
 
     /// Direct addressing hits exactly the addressed node; unknown IDs

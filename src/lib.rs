@@ -93,5 +93,5 @@ pub mod prelude {
     };
     pub use gossip_harness::{run_algorithm_trials, Summary, Table};
     pub use gossip_lowerbound::estimate_success;
-    pub use phonecall::{FailurePlan, Metrics, Network, NodeId, NodeIdx};
+    pub use phonecall::{ChurnConfig, FailurePlan, Metrics, Network, NodeId, NodeIdx};
 }

@@ -18,9 +18,11 @@
 //! GOLDEN_REGEN=1 cargo test --test golden_reports -- --nocapture
 //! ```
 //!
-//! and paste the printed rows over the `GOLDEN` table below. Do this only
-//! when the change is meant to alter traffic patterns; the whole point of
-//! the table is to make that decision explicit.
+//! and paste the printed rows over the `GOLDEN` table below (the churn
+//! test prints its rows under a `// churn grid:` header for the
+//! `CHURN_GOLDEN` table). Do this only when the change is meant to alter
+//! traffic patterns; the whole point of the table is to make that
+//! decision explicit.
 
 use optimal_gossip::prelude::*;
 
@@ -106,6 +108,108 @@ const GOLDEN: &[Golden] = &[
     ("NameDropper", 1024, 1, 31, 31744, 205633104, 1024),
     ("NameDropper", 1024, 7, 34, 34816, 264123936, 1024),
 ];
+
+/// The canonical churn scenario of the golden grid: an early correlated
+/// outage with recovery plus burst loss, source protected — every axis of
+/// the dynamic adversary active at once. Digests under this scenario pin
+/// the adversary's event stream *and* the engine's loss composition; any
+/// change to either fails loudly here.
+fn canonical_churn() -> phonecall::ChurnConfig {
+    phonecall::ChurnConfig {
+        crash_rate: 0.5,
+        batch_size: 4,
+        recovery_rate: 0.2,
+        burst_enter: 0.15,
+        burst_exit: 0.35,
+        burst_loss: 0.5,
+        start_round: 1,
+        stop_round: Some(24),
+        protected: vec![0],
+        ..phonecall::ChurnConfig::default()
+    }
+}
+
+/// Pinned digests for every registered algorithm under the canonical
+/// churn scenario at `n = 256, seed ∈ {1, 7}`. Unlike the loss-free grid
+/// these runs are *not* required to succeed (churn is allowed to strand
+/// survivors); the digests pin whatever behavior the adversary produces.
+#[rustfmt::skip]
+const CHURN_GOLDEN: &[Golden] = &[
+    // (algo, n, seed, rounds, messages, bits, informed)
+    ("Cluster2", 256, 1, 75, 10163, 504512, 256),
+    ("Cluster2", 256, 7, 75, 7521, 388674, 256),
+    ("Cluster1", 256, 1, 49, 10479, 523695, 256),
+    ("Cluster1", 256, 7, 49, 8434, 431317, 256),
+    ("AvinElsasser", 256, 1, 52, 4944, 741411, 256),
+    ("AvinElsasser", 256, 7, 52, 4889, 771017, 256),
+    ("Karp", 256, 1, 26, 2654, 496192, 249),
+    ("Karp", 256, 7, 26, 2684, 427168, 250),
+    ("PushPull", 256, 1, 7, 1917, 262656, 246),
+    ("PushPull", 256, 7, 9, 2431, 346496, 255),
+    ("Push", 256, 1, 14, 1350, 432000, 247),
+    ("Push", 256, 7, 14, 1313, 420160, 247),
+    ("Pull", 256, 1, 13, 2252, 144640, 249),
+    ("Pull", 256, 7, 15, 3064, 170336, 249),
+    ("Cluster3", 256, 1, 108, 14347, 708220, 256),
+    ("Cluster3", 256, 7, 108, 13134, 662531, 256),
+    ("ClusterPushPull", 256, 1, 156, 17529, 1406268, 256),
+    ("ClusterPushPull", 256, 7, 156, 16356, 1362883, 256),
+    ("Tree", 256, 1, 2, 502, 88352, 252),
+    ("Tree", 256, 7, 4, 323, 29920, 66),
+    ("NameDropper", 256, 1, 31, 7700, 11128368, 255),
+    ("NameDropper", 256, 7, 31, 7750, 13054688, 253),
+];
+
+fn churn_grid() -> Vec<(&'static dyn Algorithm, usize, u64)> {
+    let mut g = Vec::new();
+    for &algo in registry::all() {
+        for seed in [1u64, 7] {
+            g.push((algo, 256, seed));
+        }
+    }
+    g
+}
+
+fn churn_digest(algo: &dyn Algorithm, n: usize, seed: u64) -> Golden {
+    let r = algo.run(&Scenario::broadcast(n).seed(seed).churn(canonical_churn()));
+    (
+        algo.name(),
+        n,
+        seed,
+        r.rounds,
+        r.messages,
+        r.bits,
+        r.informed,
+    )
+}
+
+#[test]
+fn churn_run_reports_match_golden_digests() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        println!("// churn grid:");
+        for (algo, n, seed) in churn_grid() {
+            let (name, n, seed, rounds, messages, bits, informed) = churn_digest(algo, n, seed);
+            println!("    (\"{name}\", {n}, {seed}, {rounds}, {messages}, {bits}, {informed}),");
+        }
+        return;
+    }
+    assert_eq!(
+        CHURN_GOLDEN.len(),
+        churn_grid().len(),
+        "churn golden table out of sync with the registry grid; regenerate with GOLDEN_REGEN=1"
+    );
+    for (&(name, n, seed, rounds, messages, bits, informed), (algo, gn, gseed)) in
+        CHURN_GOLDEN.iter().zip(churn_grid())
+    {
+        assert_eq!((name, n, seed), (algo.name(), gn, gseed), "grid drift");
+        let got = churn_digest(algo, n, seed);
+        assert_eq!(
+            got,
+            (name, n, seed, rounds, messages, bits, informed),
+            "{name} at (n={n}, seed={seed}) drifted from its churn golden digest"
+        );
+    }
+}
 
 fn grid() -> Vec<(&'static dyn Algorithm, usize, u64)> {
     let mut g = Vec::new();
