@@ -56,9 +56,15 @@ pub fn rumor_network(n: usize, cfg: &CommonConfig) -> Network<RumorNode> {
     let mut net: Network<RumorNode> = Network::new(n, cfg.seed);
     net.apply_failures(&cfg.failures);
     net.set_message_loss(cfg.message_loss);
-    // Same stream label as ClusterSim, so one scenario means one
-    // crash/recovery/burst history for every algorithm.
+    // Same stream labels as ClusterSim (4 = churn, 5 = topology), so one
+    // scenario means one crash/recovery/burst history and one contact
+    // graph for every algorithm.
     net.set_churn(cfg.churn.clone(), phonecall::derive_seed(cfg.seed, 4));
+    net.set_topology(
+        cfg.topology.clone(),
+        cfg.addressing,
+        phonecall::derive_seed(cfg.seed, 5),
+    );
     net.states_mut()[cfg.source as usize].informed = true;
     for &extra in &cfg.extra_sources {
         assert!((extra as usize) < n, "extra source index out of range");

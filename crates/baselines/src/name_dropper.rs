@@ -130,6 +130,16 @@ fn run_net(n: usize, topology: Topology, cfg: &CommonConfig) -> Network<Discover
     net.apply_failures(&cfg.failures);
     net.set_message_loss(cfg.message_loss);
     net.set_churn(cfg.churn.clone(), phonecall::derive_seed(cfg.seed, 4));
+    // The communication topology (stream label 5, shared with every
+    // other algorithm). Note the *knowledge* seed graph below is a
+    // property of the task, independent of the contact graph: under
+    // `DirectAddressing::Restricted` a known ID without a link is
+    // unusable, which is exactly the regime E11 probes.
+    net.set_topology(
+        cfg.topology.clone(),
+        cfg.addressing,
+        phonecall::derive_seed(cfg.seed, 5),
+    );
     let id_bits = phonecall::id_bits(n);
 
     // Seed the initial knowledge graph.

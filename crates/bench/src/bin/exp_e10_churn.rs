@@ -79,7 +79,7 @@ fn profiles(n: usize) -> Vec<(&'static str, ChurnConfig)> {
 
 fn main() {
     let opts = cli::parse();
-    let mut bench = BenchJson::start("e10", opts);
+    let mut bench = BenchJson::start("e10", &opts);
     let n: usize = opts.n.unwrap_or(if opts.full { 1 << 13 } else { 1 << 11 });
     let trials = opts.trials_or(if opts.full { 12 } else { 6 });
     let profiles = profiles(n);
@@ -121,7 +121,7 @@ fn main() {
         let mut row = vec![algo.name().to_string()];
         let mut rrow = vec![algo.name().to_string()];
         for (profile_name, churn) in &profiles {
-            let scenario = Scenario::broadcast(n).churn(churn.clone());
+            let scenario = opts.apply_topology(Scenario::broadcast(n).churn(churn.clone()));
             let label = format!("{}{profile_name}", algo.name());
             let reps = par_map_trials(0xE10, &label, trials, |seed| {
                 let r = algo.run(&scenario.clone().seed(seed));
@@ -145,9 +145,9 @@ fn main() {
         round_tbl.push_row(rrow);
     }
     bench.stop();
-    emit(&cov_tbl, opts);
+    emit(&cov_tbl, &opts);
     println!();
-    emit(&round_tbl, opts);
+    emit(&round_tbl, &opts);
     println!();
     println!(
         "Reading: the observer-stopped baselines (Push/Pull/PushPull) trade\n\

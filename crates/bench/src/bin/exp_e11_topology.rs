@@ -1,0 +1,220 @@
+//! **E11 — restricted communication topologies** (extension; the
+//! `phonecall::topology` subsystem).
+//!
+//! Every earlier experiment runs on the complete graph — the one setting
+//! where address-oblivious gossip is already strong, so the only setting
+//! where the paper's direct-addressing advantage can be measured at its
+//! *smallest*. This experiment sweeps the contact graph itself: the
+//! broadcast field runs on rings, tori, random-regular expanders,
+//! `G(n,p)`, Watts–Strogatz small worlds and preferential-attachment
+//! scale-free graphs, under both readings of direct addressing on a
+//! restricted graph:
+//!
+//! * **overlay** — learned-ID calls cross the graph (the topology only
+//!   shapes who you *meet* at random — an IP network);
+//! * **restricted** — learned-ID calls are confined to edges (an
+//!   address without a link is worthless).
+//!
+//! Observed shapes (recorded in EXPERIMENTS.md §E11): under *overlay*
+//! the paper's advantage **survives sparsification wherever the graph
+//! mixes** — on scale-free, `G(n,p)` and random-regular contact graphs
+//! the clustered algorithms complete at their unchanged `Θ(log log n)`
+//! schedules, still 5–10× ahead of flooding — and **collapses with the
+//! diameter**: the torus strands them mid-backbone and the ring drops
+//! their coverage to ~1%, while the observer-stopped baselines simply
+//! stretch toward their round caps. Under *restricted* addressing the
+//! clustered algorithms collapse on *every* sparse graph (< 1%
+//! coverage): their merge/squaring coordination routes messages to
+//! learned leader IDs, and an address without a link is worthless. The
+//! address-oblivious baselines don't notice the mode at all — their
+//! contacts were already edges — so the paper's gap *inverts*: on
+//! restricted sparse graphs plain flooding dominates. Direct
+//! addressing buys `log log n` exactly because the address space is
+//! flat; confine it to edges and graph geometry rules again.
+
+use gossip_bench::{algos_by_name, cli, emit, BenchJson};
+use gossip_core::algo::Scenario;
+use gossip_harness::{par_map_trials, Summary, Table};
+use gossip_lowerbound::diameter;
+use gossip_lowerbound::graph::Graph;
+use phonecall::{DirectAddressing, Topology};
+
+/// The topology grid: named points across the density spectrum, from
+/// the complete base model down to the ring. `G(n,p)` keeps its
+/// expected degree at `2 ln n` so instances stay connected whp at
+/// every sweep size; families whose knobs need more nodes than `--n`
+/// provides (degree/k/m < n) are skipped with a note rather than
+/// panicking mid-grid.
+fn topologies(n: usize) -> Vec<(&'static str, Topology)> {
+    let p = (2.0 * (n as f64).ln() / n as f64).min(1.0);
+    let all = vec![
+        ("complete", Topology::Complete, 2),
+        ("pref-attach:4", Topology::PreferentialAttachment(4), 5),
+        ("erdos-renyi", Topology::ErdosRenyi(p), 2),
+        ("random-reg:8", Topology::RandomRegular(8), 9),
+        ("watts-strog:6", Topology::WattsStrogatz(6, 0.1), 7),
+        ("torus2d", Topology::Torus2D, 2),
+        ("ring", Topology::Ring, 2),
+    ];
+    all.into_iter()
+        .filter_map(|(name, topo, min_n)| {
+            if n >= min_n {
+                Some((name, topo))
+            } else {
+                eprintln!("skipping {name}: its knobs need n >= {min_n}, got {n}");
+                None
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = cli::parse();
+    let mut bench = BenchJson::start("e11", &opts);
+    let n: usize = opts.n.unwrap_or(if opts.full { 1 << 12 } else { 1 << 10 });
+    let trials = opts.trials_or(if opts.full { 10 } else { 5 });
+    let topos = match &opts.topo {
+        Some(t) => vec![("selected", t.clone())],
+        None => topologies(n),
+    };
+    // The headline comparison seven: the paper's algorithms against the
+    // address-oblivious baselines, on every graph.
+    let algos = opts.algos(&algos_by_name(&[
+        "Cluster2",
+        "Cluster1",
+        "AvinElsasser",
+        "Karp",
+        "PushPull",
+        "Push",
+        "Pull",
+    ]));
+    let modes = [DirectAddressing::Overlay, DirectAddressing::Restricted];
+
+    // Graph shapes first: one representative seeded instance per family
+    // (each trial builds its own graph from its trial seed, so this row
+    // characterizes the family's typical shape, not any one cell's
+    // exact graph — the table header says so).
+    let mut shape_tbl = Table::new(
+        format!(
+            "E11: contact-graph shapes (representative seeded instance, n = 2^{})",
+            n.trailing_zeros()
+        ),
+        &["topology", "edges", "max degree", "diameter"],
+    );
+    for (name, topo) in &topos {
+        let row = match topo.build(n, 0xE11) {
+            None => vec![
+                (*name).to_string(),
+                (n * (n - 1) / 2).to_string(),
+                (n - 1).to_string(),
+                "1".to_string(),
+            ],
+            Some(adj) => {
+                let g = Graph::from_adjacency(&adj);
+                let diam = match diameter::bounds(&g, 4) {
+                    None => "inf".to_string(),
+                    Some(b) if b.is_exact() => b.lo.to_string(),
+                    Some(b) => format!("{}..{}", b.lo, b.hi),
+                };
+                vec![
+                    (*name).to_string(),
+                    adj.edge_count().to_string(),
+                    adj.max_degree().to_string(),
+                    diam,
+                ]
+            }
+        };
+        shape_tbl.push_row(row);
+    }
+
+    let mut header: Vec<String> = vec!["algorithm".into()];
+    header.extend(topos.iter().map(|(name, _)| (*name).to_string()));
+    let cols: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    // One (coverage, rounds) table pair per addressing mode. All compute
+    // fans out through the deterministic runner; rows fold in seed
+    // order, so stdout is byte-identical at every GOSSIP_THREADS.
+    let mut tables = Vec::new();
+    let mut headline: Vec<(String, f64)> = Vec::new();
+    for mode in modes {
+        let mut cov_tbl = Table::new(
+            format!(
+                "E11: informed fraction of survivors, {} addressing",
+                mode.label()
+            ),
+            &cols,
+        );
+        let mut round_tbl = Table::new(
+            format!("E11b: mean rounds, {} addressing", mode.label()),
+            &cols,
+        );
+        for &algo in &algos {
+            let mut row = vec![algo.name().to_string()];
+            let mut rrow = vec![algo.name().to_string()];
+            for (topo_name, topo) in &topos {
+                let scenario = Scenario::broadcast(n)
+                    .topology(topo.clone())
+                    .addressing(mode);
+                let label = format!("{}/{}/{}", algo.name(), topo_name, mode.label());
+                let reps = par_map_trials(0xE11, &label, trials, |seed| {
+                    let r = algo.run(&scenario.clone().seed(seed));
+                    (r.informed as f64 / r.alive as f64, r.rounds as f64)
+                });
+                let coverage: Vec<f64> = reps.iter().map(|&(c, _)| c).collect();
+                let mean_rounds: f64 =
+                    reps.iter().map(|&(_, r)| r).sum::<f64>() / f64::from(trials);
+                let cov = Summary::from_samples(&coverage);
+                row.push(format!("{:.4}", cov.mean));
+                rrow.push(format!("{mean_rounds:.0}"));
+                if matches!(algo.name(), "Cluster2" | "PushPull")
+                    && matches!(*topo_name, "complete" | "random-reg:8" | "ring")
+                {
+                    let key = format!(
+                        "{}_{}_{}",
+                        algo.name().to_lowercase(),
+                        topo_name.replace([':', '-'], "_"),
+                        mode.label()
+                    );
+                    headline.push((format!("{key}_coverage"), cov.mean));
+                    headline.push((format!("{key}_rounds"), mean_rounds));
+                }
+            }
+            cov_tbl.push_row(row);
+            round_tbl.push_row(rrow);
+        }
+        tables.push((cov_tbl, round_tbl));
+    }
+    bench.stop();
+
+    emit(&shape_tbl, &opts);
+    for (cov_tbl, round_tbl) in &tables {
+        println!();
+        emit(cov_tbl, &opts);
+        println!();
+        emit(round_tbl, &opts);
+    }
+    println!();
+    println!(
+        "Reading: under overlay addressing the paper's advantage survives\n\
+         sparsification wherever the contact graph mixes — on the\n\
+         scale-free, G(n,p) and random-regular graphs the clustered\n\
+         algorithms complete at their unchanged loglog schedules — and\n\
+         collapses with the diameter (torus strands them mid-backbone,\n\
+         the ring drops coverage to ~1%), while the observer-stopped\n\
+         baselines just stretch toward their round caps. Under restricted\n\
+         addressing the clustered algorithms collapse on every sparse\n\
+         graph: their coordination routes to learned leader IDs, and an\n\
+         address without a link is worthless — the oblivious baselines\n\
+         don't notice the mode at all, so the gap inverts and flooding\n\
+         dominates. Direct addressing buys loglog n exactly because the\n\
+         address space is flat; confine it to edges and graph geometry\n\
+         rules again."
+    );
+    if opts.json {
+        bench.metric("trials_per_cell", f64::from(trials));
+        for (key, value) in headline {
+            bench.metric(key, value);
+        }
+        bench.finish();
+    }
+}

@@ -28,7 +28,7 @@ fn main() {
     });
     let trials = opts.trials_or(if opts.full { 20 } else { 8 });
     let algos = opts.algos(registry::compared());
-    let mut bench = BenchJson::start("e1", opts);
+    let mut bench = BenchJson::start("e1", &opts);
 
     // Compute phase: every (algorithm, n) cell fans its trials out across
     // the worker threads; per-trial records come back in seed order, so
@@ -42,7 +42,8 @@ fn main() {
         let mut cells = Vec::new();
         for &n in &ns {
             let reps = par_map_trials(0xE1, algo.name(), trials, |seed| {
-                let r = algo.run(&Scenario::broadcast(n).seed(seed));
+                // --topo (default: complete) applies uniformly to every cell.
+                let r = algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)));
                 (r.rounds as f64, r.messages_per_node())
             });
             let rounds: Vec<f64> = reps.iter().map(|&(r, _)| r).collect();
@@ -116,11 +117,11 @@ fn main() {
         );
     }
 
-    emit(&rounds_tbl, opts);
+    emit(&rounds_tbl, &opts);
     println!();
-    emit(&norm_tbl, opts);
+    emit(&norm_tbl, &opts);
     println!();
-    emit(&fit_tbl, opts);
+    emit(&fit_tbl, &opts);
     if !opts.csv {
         println!();
         print!("{}", fig.render());
@@ -134,7 +135,8 @@ fn main() {
         for (algo, cells) in &data {
             for (&n, cell) in ns.iter().zip(cells) {
                 let seq = run_trials_seq(0xE1, algo.name(), trials, |seed| {
-                    algo.run(&Scenario::broadcast(n).seed(seed)).rounds as f64
+                    algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)))
+                        .rounds as f64
                 });
                 assert_eq!(
                     seq,

@@ -23,7 +23,7 @@ fn main() {
     });
     let trials = opts.trials_or(if opts.full { 20 } else { 8 });
     let algos = opts.algos(registry::compared());
-    let mut bench = BenchJson::start("e2", opts);
+    let mut bench = BenchJson::start("e2", &opts);
 
     let header = ns_header(&["algorithm"], &ns);
     let cols: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -45,11 +45,11 @@ fn main() {
         let mut payloads = Vec::new();
         for &n in &ns {
             let t = run_trials(0xE2, algo.name(), trials, |seed| {
-                algo.run(&Scenario::broadcast(n).seed(seed))
+                algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)))
                     .messages_per_node()
             });
             let p = run_trials(0xE2B, algo.name(), trials, |seed| {
-                algo.run(&Scenario::broadcast(n).seed(seed))
+                algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)))
                     .payload_messages_per_node()
             });
             totals.push(t.mean);
@@ -75,11 +75,11 @@ fn main() {
     }
 
     bench.stop();
-    emit(&total_tbl, opts);
+    emit(&total_tbl, &opts);
     println!();
-    emit(&payload_tbl, opts);
+    emit(&payload_tbl, &opts);
     println!();
-    emit(&growth_tbl, opts);
+    emit(&growth_tbl, &opts);
 
     if opts.json {
         let head_key = algos[0].name().to_lowercase();

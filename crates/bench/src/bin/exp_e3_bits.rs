@@ -11,7 +11,7 @@ use gossip_harness::{geometric_ns, run_trials, Table};
 
 fn main() {
     let opts = cli::parse();
-    let mut bench = BenchJson::start("e3", opts);
+    let mut bench = BenchJson::start("e3", &opts);
     let ns = opts.ns_or(if opts.full {
         geometric_ns(9, 16, 1)
     } else {
@@ -40,7 +40,8 @@ fn main() {
             let mut row = vec![algo.name().to_string(), b.to_string()];
             for &n in &ns {
                 let s = run_trials(0xE3, algo.name(), trials, |seed| {
-                    let r = algo.run(&Scenario::broadcast(n).seed(seed).rumor_bits(b));
+                    let r = algo
+                        .run(&opts.apply_topology(Scenario::broadcast(n).seed(seed).rumor_bits(b)));
                     r.bits as f64 / (n as f64 * b as f64)
                 });
                 if algo.name() == algos[0].name()
@@ -55,7 +56,7 @@ fn main() {
         }
     }
     bench.stop();
-    emit(&tbl, opts);
+    emit(&tbl, &opts);
     if opts.json {
         bench.metric("trials_per_cell", f64::from(trials));
         bench.metric(

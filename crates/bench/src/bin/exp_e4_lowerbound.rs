@@ -17,8 +17,9 @@ fn main() {
     let opts = cli::parse();
     // The lower bound quantifies over *all* algorithms at once — there is
     // no algorithm to select.
+    opts.warn_unused_topo("e4");
     opts.warn_fixed_algos("e4", &[]);
-    let mut bench = BenchJson::start("e4", opts);
+    let mut bench = BenchJson::start("e4", &opts);
     let (ns, trials): (Vec<usize>, u32) = if opts.full {
         (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18], 30)
     } else {
@@ -47,7 +48,7 @@ fn main() {
         row.extend(ps.iter().map(|p| format!("{p:.2}")));
         tbl.push_row(row);
     }
-    emit(&tbl, opts);
+    emit(&tbl, &opts);
     println!();
 
     // Constructive side: the most powerful conceivable algorithm
@@ -81,7 +82,7 @@ fn main() {
         ]);
     }
     bench.stop();
-    emit(&k_tbl, opts);
+    emit(&k_tbl, &opts);
     if opts.json {
         bench.metric("diam_trials_per_cell", f64::from(trials));
         bench.metric("lemma14_mean_rounds_largest_n", headline_rounds);

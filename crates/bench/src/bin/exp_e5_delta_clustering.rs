@@ -13,7 +13,7 @@ use gossip_harness::{par_map_trials, run_trials, Summary, Table};
 fn main() {
     let opts = cli::parse();
     opts.warn_fixed_algos("e5", &["Cluster3"]);
-    let mut bench = BenchJson::start("e5", opts);
+    let mut bench = BenchJson::start("e5", &opts);
     let ns = opts.ns_or(if opts.full {
         vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
     } else {
@@ -52,7 +52,10 @@ fn main() {
             // below reproduces the sequential accumulation exactly.
             let reps = par_map_trials(0xE5, &format!("d{e}n{n}"), trials, |seed| {
                 cluster3
-                    .run_with_params(&Scenario::broadcast(n).seed(seed), &delta_param)
+                    .run_with_params(
+                        &opts.apply_topology(Scenario::broadcast(n).seed(seed)),
+                        &delta_param,
+                    )
                     .expect("delta is a valid Cluster3 parameter")
             });
             let mut fan_ok = true;
@@ -71,7 +74,10 @@ fn main() {
             let rounds = Summary::from_samples(&samples);
             let msgs: Summary = run_trials(0xE5B, &format!("d{e}n{n}"), trials, |seed| {
                 let rep = cluster3
-                    .run_with_params(&Scenario::broadcast(n).seed(seed), &delta_param)
+                    .run_with_params(
+                        &opts.apply_topology(Scenario::broadcast(n).seed(seed)),
+                        &delta_param,
+                    )
                     .expect("delta is a valid Cluster3 parameter");
                 rep.messages as f64 / n as f64
             });
@@ -95,7 +101,7 @@ fn main() {
         }
     }
     bench.stop();
-    emit(&tbl, opts);
+    emit(&tbl, &opts);
     println!();
     println!(
         "Reading: rounds stay near-constant in n (O(log log n)), fan-in\n\

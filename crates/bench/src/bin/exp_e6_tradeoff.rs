@@ -15,7 +15,7 @@ use gossip_harness::{par_map_trials, Summary, Table};
 fn main() {
     let opts = cli::parse();
     opts.warn_fixed_algos("e6", &["ClusterPushPull"]);
-    let mut bench = BenchJson::start("e6", opts);
+    let mut bench = BenchJson::start("e6", &opts);
     let n: usize = opts.n.unwrap_or(if opts.full { 1 << 15 } else { 1 << 13 });
     let trials = opts.trials_or(if opts.full { 10 } else { 5 });
     let deltas: Vec<usize> = if opts.full {
@@ -50,7 +50,10 @@ fn main() {
         // the sequential accumulation bit for bit.
         let reps = par_map_trials(0xE6, &format!("d{delta}"), trials, |seed| {
             push_pull
-                .run_with_params(&Scenario::broadcast(n).seed(seed), &delta_param)
+                .run_with_params(
+                    &opts.apply_topology(Scenario::broadcast(n).seed(seed)),
+                    &delta_param,
+                )
                 .expect("delta is a valid ClusterPushPull parameter")
         });
         let mut fan_max = 0u64;
@@ -91,7 +94,7 @@ fn main() {
         ]);
     }
     bench.stop();
-    emit(&tbl, opts);
+    emit(&tbl, &opts);
     println!();
     println!(
         "Reading: loop rounds track the Lemma 16 bound log n / log delta'\n\

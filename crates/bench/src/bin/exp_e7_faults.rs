@@ -13,7 +13,7 @@ use phonecall::FailurePlan;
 
 fn main() {
     let opts = cli::parse();
-    let mut bench = BenchJson::start("e7", opts);
+    let mut bench = BenchJson::start("e7", &opts);
     let n: usize = opts.n.unwrap_or(if opts.full { 1 << 14 } else { 1 << 12 });
     let trials = opts.trials_or(if opts.full { 15 } else { 6 });
     let fractions = [0.05f64, 0.1, 0.2, 0.3];
@@ -42,7 +42,7 @@ fn main() {
         for &frac in &fractions {
             let f = (n as f64 * frac) as usize;
             let reps = par_map_trials(0xE7, &format!("{}{frac}", algo.name()), trials, |seed| {
-                let r = algo.run(&failure_scenario(n, f, seed));
+                let r = algo.run(&opts.apply_topology(failure_scenario(n, f, seed)));
                 (r.uninformed() as f64 / f as f64, r.rounds as f64)
             });
             let ratios: Vec<f64> = reps.iter().map(|&(u, _)| u).collect();
@@ -59,9 +59,9 @@ fn main() {
     }
 
     bench.stop();
-    emit(&tbl, opts);
+    emit(&tbl, &opts);
     println!();
-    emit(&rounds_tbl, opts);
+    emit(&rounds_tbl, &opts);
     println!();
     println!(
         "Reading: the uninformed-survivors/F ratio stays far below 1 (the\n\

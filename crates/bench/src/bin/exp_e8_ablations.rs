@@ -23,9 +23,10 @@ fn main() {
     let opts = cli::parse();
     // The ablations run Cluster2's internals against modified copies of
     // themselves — there is no algorithm to select.
+    opts.warn_unused_topo("e8");
     opts.warn_fixed_algos("e8", &["Cluster2"]);
     let trials = opts.trials_or(if opts.full { 10 } else { 5 });
-    let mut bench = BenchJson::start("e8", opts);
+    let mut bench = BenchJson::start("e8", &opts);
 
     // --- A: squaring vs doubling -------------------------------------
     let ns: Vec<usize> = opts.ns_or(if opts.full {
@@ -56,7 +57,7 @@ fn main() {
             format!("{:.1}x", db.mean / sq.mean.max(1.0)),
         ]);
     }
-    emit(&a, opts);
+    emit(&a, &opts);
     println!();
 
     // --- B: thin backbone on/off -------------------------------------
@@ -94,7 +95,7 @@ fn main() {
             format!("{:.3}", frac_u / f64::from(trials)),
         ]);
     }
-    emit(&b, opts);
+    emit(&b, &opts);
     println!();
 
     // --- C: one vs two recruit pushes per squaring iteration ----------
@@ -120,7 +121,7 @@ fn main() {
         ]);
     }
     bench.stop();
-    emit(&c, opts);
+    emit(&c, &opts);
     println!();
     println!(
         "Reading: A shows the doubly-exponential growth of the squaring\n\

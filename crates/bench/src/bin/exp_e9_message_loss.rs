@@ -19,7 +19,7 @@ use gossip_harness::{par_map_trials, Summary, Table};
 
 fn main() {
     let opts = cli::parse();
-    let mut bench = BenchJson::start("e9", opts);
+    let mut bench = BenchJson::start("e9", &opts);
     let n: usize = opts.n.unwrap_or(if opts.full { 1 << 13 } else { 1 << 11 });
     let trials = opts.trials_or(if opts.full { 12 } else { 6 });
     let losses = [0.0f64, 0.01, 0.05, 0.1, 0.2];
@@ -52,7 +52,9 @@ fn main() {
         let mut rrow = vec![algo.name().to_string()];
         for &loss in &losses {
             let reps = par_map_trials(0xE9, &format!("{}{loss}", algo.name()), trials, |seed| {
-                let r = algo.run(&Scenario::broadcast(n).seed(seed).message_loss(loss));
+                let r = algo.run(
+                    &opts.apply_topology(Scenario::broadcast(n).seed(seed).message_loss(loss)),
+                );
                 (r.informed as f64 / r.alive as f64, r.rounds as f64)
             });
             let coverage: Vec<f64> = reps.iter().map(|&(c, _)| c).collect();
@@ -68,9 +70,9 @@ fn main() {
         round_tbl.push_row(rrow);
     }
     bench.stop();
-    emit(&cov_tbl, opts);
+    emit(&cov_tbl, &opts);
     println!();
-    emit(&round_tbl, opts);
+    emit(&round_tbl, &opts);
     println!();
     println!(
         "Reading: the randomized baselines self-heal (coverage 1.0000, a\n\

@@ -1,4 +1,4 @@
-//! The one flag parser all ten `exp_e*` binaries share.
+//! The one flag parser all eleven `exp_e*` binaries share.
 //!
 //! Flags:
 //!
@@ -9,6 +9,10 @@
 //!   (case-insensitive; unknown names exit listing the valid ones);
 //! * `--list-algos` — print the registry (name, law, description) and
 //!   exit;
+//! * `--topo <name[:param]>` — override the communication topology
+//!   (case-insensitive, e.g. `random-regular:8`; unknown names exit
+//!   listing the valid ones);
+//! * `--list-topos` — print the topology catalog and exit;
 //! * `--n <size>` — replace the size grid with a single `n`;
 //! * `--trials <k>` — override the per-cell trial count.
 //!
@@ -18,9 +22,10 @@
 
 use gossip_baselines::registry;
 use gossip_core::algo::Algorithm;
+use phonecall::Topology;
 
 /// Parsed command-line options shared by all experiment binaries.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Options {
     /// Use the larger sweep recorded in EXPERIMENTS.md.
     pub full: bool,
@@ -30,6 +35,10 @@ pub struct Options {
     pub json: bool,
     /// Run only this algorithm (resolved through the registry).
     pub algo: Option<&'static dyn Algorithm>,
+    /// Run on this communication topology (parsed via
+    /// [`Topology::parse_spec`]). `None` leaves the experiment's default
+    /// (the complete graph, or E11's own grid).
+    pub topo: Option<Topology>,
     /// Replace the experiment's size grid with this single `n`.
     pub n: Option<usize>,
     /// Override the per-cell trial count.
@@ -62,6 +71,20 @@ impl Options {
         self.trials.unwrap_or(default)
     }
 
+    /// Applies the `--topo` override (if any) onto a scenario; without
+    /// the flag the scenario — and with it every historical stdout — is
+    /// untouched.
+    #[must_use]
+    pub fn apply_topology(
+        &self,
+        scenario: gossip_core::algo::Scenario,
+    ) -> gossip_core::algo::Scenario {
+        match &self.topo {
+            Some(t) => scenario.topology(t.clone()),
+            None => scenario,
+        }
+    }
+
     /// For experiments whose algorithm set is fixed by construction:
     /// warns (on stderr) that `--algo` is ignored unless it names one of
     /// `runs` (an empty `runs` means the experiment has no algorithm
@@ -82,6 +105,20 @@ impl Options {
             }
         }
     }
+
+    /// For experiments with no scenario to restrict (E4 runs on its own
+    /// union graphs, E8's ablations pin the environment): warns (on
+    /// stderr) that `--topo` is ignored — silence would let a user
+    /// record complete-graph results believing they came from the
+    /// requested topology.
+    pub fn warn_unused_topo(&self, experiment: &str) {
+        if let Some(t) = &self.topo {
+            eprintln!(
+                "{experiment} does not run on a scenario topology; ignoring --topo {}",
+                t.describe()
+            );
+        }
+    }
 }
 
 /// Outcome of [`try_parse`]: options, or a terminal request/error the
@@ -89,19 +126,24 @@ impl Options {
 #[derive(Clone, Copy, Debug)]
 enum Terminal {
     ListAlgos,
+    ListTopos,
     Error,
 }
 
 /// Parses the standard experiment flags from `std::env::args`, handling
-/// `--list-algos` (prints the registry, exits 0) and bad values (exits 2
-/// with a message) in place. Unknown flags warn and are ignored, as they
-/// always were.
+/// `--list-algos` / `--list-topos` (prints the catalog, exits 0) and bad
+/// values (exits 2 with a message) in place. Unknown flags warn and are
+/// ignored, as they always were.
 #[must_use]
 pub fn parse() -> Options {
     match try_parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(Terminal::ListAlgos) => {
             print!("{}", render_algo_list());
+            std::process::exit(0);
+        }
+        Err(Terminal::ListTopos) => {
+            print!("{}", render_topo_list());
             std::process::exit(0);
         }
         Err(Terminal::Error) => std::process::exit(2),
@@ -128,9 +170,17 @@ fn try_parse(args: impl Iterator<Item = String>) -> Result<Options, Terminal> {
             "--csv" => o.csv = true,
             "--json" => o.json = true,
             "--list-algos" => return Err(Terminal::ListAlgos),
+            "--list-topos" => return Err(Terminal::ListTopos),
             "--algo" => {
                 let name = value("--algo")?;
                 o.algo = Some(registry::by_name(&name).map_err(|e| {
+                    eprintln!("{e}");
+                    Terminal::Error
+                })?);
+            }
+            "--topo" => {
+                let spec = value("--topo")?;
+                o.topo = Some(Topology::parse_spec(&spec).map_err(|e| {
                     eprintln!("{e}");
                     Terminal::Error
                 })?);
@@ -182,6 +232,18 @@ pub fn render_algo_list() -> String {
     out
 }
 
+/// The `--list-topos` listing: one line per topology catalog entry.
+#[must_use]
+pub fn render_topo_list() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<32} description\n", "spec"));
+    for (spec, about) in Topology::catalog() {
+        out.push_str(&format!("{spec:<32} {about}\n"));
+    }
+    out.push_str("\nselect one with --topo <name[:param]> (case-insensitive)\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,25 +257,72 @@ mod tests {
         let o = parse_vec(&[]).unwrap();
         assert!(!o.full && !o.csv && !o.json);
         assert!(o.algo.is_none() && o.n.is_none() && o.trials.is_none());
+        assert!(o.topo.is_none());
     }
 
     #[test]
     fn parses_all_flags() {
         let o = parse_vec(&[
-            "--full", "--csv", "--json", "--algo", "cluster2", "--n", "512", "--trials", "3",
+            "--full", "--csv", "--json", "--algo", "cluster2", "--topo", "ring", "--n", "512",
+            "--trials", "3",
         ])
         .unwrap();
         assert!(o.full && o.csv && o.json);
         assert_eq!(o.algo.unwrap().name(), "Cluster2");
+        assert_eq!(o.topo, Some(Topology::Ring));
         assert_eq!(o.n, Some(512));
         assert_eq!(o.trials, Some(3));
     }
 
     #[test]
     fn parses_equals_form() {
-        let o = parse_vec(&["--algo=push-pull", "--n=64"]).unwrap();
+        let o = parse_vec(&["--algo=push-pull", "--n=64", "--topo=Random-Regular:4"]).unwrap();
         assert_eq!(o.algo.unwrap().name(), "PushPull");
         assert_eq!(o.n, Some(64));
+        assert_eq!(o.topo, Some(Topology::RandomRegular(4)));
+    }
+
+    #[test]
+    fn topo_flag_matches_algo_flag_ergonomics() {
+        // Same case/separator-insensitive matching as --algo...
+        for spec in [
+            "watts-strogatz:4,0.1",
+            "WATTS_STROGATZ:4,0.1",
+            "WattsStrogatz:4,0.1",
+        ] {
+            let o = parse_vec(&["--topo", spec]).unwrap();
+            assert_eq!(o.topo, Some(Topology::WattsStrogatz(4, 0.1)), "{spec}");
+        }
+        // ...and the same clean error exit on unknown names.
+        assert!(matches!(
+            parse_vec(&["--topo", "donutworld"]),
+            Err(Terminal::Error)
+        ));
+        assert!(matches!(
+            parse_vec(&["--topo", "ring:7"]),
+            Err(Terminal::Error)
+        ));
+        assert!(matches!(
+            parse_vec(&["--list-topos"]),
+            Err(Terminal::ListTopos)
+        ));
+        let listing = render_topo_list();
+        for (spec, _) in Topology::catalog() {
+            assert!(listing.contains(spec), "missing {spec}");
+        }
+    }
+
+    #[test]
+    fn apply_topology_leaves_default_scenarios_untouched() {
+        use gossip_core::algo::Scenario;
+        let o = parse_vec(&[]).unwrap();
+        let s = Scenario::broadcast(64).seed(3);
+        assert_eq!(o.apply_topology(s.clone()), s);
+        let o = parse_vec(&["--topo", "ring"]).unwrap();
+        assert_eq!(
+            o.apply_topology(s.clone()).common().topology,
+            Topology::Ring
+        );
     }
 
     #[test]

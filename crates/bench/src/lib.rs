@@ -1,13 +1,15 @@
-//! Shared helpers for the `exp_e1`…`exp_e10` experiment binaries (see
+//! Shared helpers for the `exp_e1`…`exp_e11` experiment binaries (see
 //! EXPERIMENTS.md): the shared [`cli`] flag parser, table helpers and the
 //! `BENCH_eK.json` perf-record writer.
 //!
 //! Every binary accepts `--full` for the larger grids recorded in
 //! EXPERIMENTS.md, `--csv` to emit CSV instead of markdown, `--json` to
-//! additionally write a `BENCH_eK.json` perf record, and the algorithm
+//! additionally write a `BENCH_eK.json` perf record, the algorithm
 //! selection flags `--algo <name>` / `--list-algos` / `--n <size>` /
 //! `--trials <k>` backed by the algorithm registry
-//! (`gossip_baselines::registry`) — no binary carries its own dispatch
+//! (`gossip_baselines::registry`), and the topology selection flags
+//! `--topo <name[:param]>` / `--list-topos` backed by
+//! `phonecall::Topology::catalog` — no binary carries its own dispatch
 //! table.
 
 #![forbid(unsafe_code)]
@@ -58,7 +60,7 @@ impl BenchJson {
     /// Starts the perf record (and its wall-time stopwatch) for
     /// experiment `experiment` (e.g. `"e1"`).
     #[must_use]
-    pub fn start(experiment: &'static str, opts: Options) -> Self {
+    pub fn start(experiment: &'static str, opts: &Options) -> Self {
         BenchJson {
             experiment,
             started: Instant::now(),
@@ -160,7 +162,7 @@ pub fn ns_header(prefix: &[&str], ns: &[usize]) -> Vec<String> {
 }
 
 /// Prints a table in the format selected by the options.
-pub fn emit(table: &gossip_harness::Table, opts: Options) {
+pub fn emit(table: &gossip_harness::Table, opts: &Options) {
     if opts.csv {
         print!("{}", table.to_csv());
     } else {
@@ -203,7 +205,7 @@ mod tests {
 
     #[test]
     fn bench_json_renders_valid_shape() {
-        let mut b = BenchJson::start("e0", Options::default());
+        let mut b = BenchJson::start("e0", &Options::default());
         b.metric("mean_rounds", 12.5);
         b.metric("msgs_per_node", 3.0);
         let doc = b.render();
@@ -223,7 +225,7 @@ mod tests {
 
     #[test]
     fn non_finite_metrics_become_null() {
-        let mut b = BenchJson::start("e0", Options::default());
+        let mut b = BenchJson::start("e0", &Options::default());
         b.metric("bad", f64::NAN);
         b.metric("worse", f64::INFINITY);
         let doc = b.render();

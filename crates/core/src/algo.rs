@@ -22,7 +22,7 @@
 //! the trait impls here are thin wrappers over them, so every golden
 //! digest stays bit-identical whichever door a caller comes through.
 
-use phonecall::{ChurnConfig, FailurePlan};
+use phonecall::{ChurnConfig, DirectAddressing, FailurePlan, Topology};
 
 use crate::config::{Cluster1Config, Cluster2Config, Cluster3Config, CommonConfig, PushPullConfig};
 use crate::params::{ParamError, Value};
@@ -171,6 +171,36 @@ impl Scenario {
             panic!("invalid scenario: {e}");
         }
         self.common.churn = churn;
+        self
+    }
+
+    /// Sets the communication topology (see `phonecall::topology`): the
+    /// graph the address-oblivious contacts are confined to. The graph
+    /// builds off this scenario's run seed under one shared stream
+    /// label, so every algorithm facing this scenario faces the *same*
+    /// contact graph. [`Topology::Complete`] (the default) restores the
+    /// paper's base model, bit-identical to pre-topology builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics at the builder if the topology fails
+    /// [`Topology::validate`], with the offending knob named.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        if let Err(e) = topology.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        self.common.topology = topology;
+        self
+    }
+
+    /// Sets the direct-addressing mode on a restricted topology:
+    /// [`DirectAddressing::Overlay`] (default) lets learned-ID calls
+    /// cross the graph, [`DirectAddressing::Restricted`] confines them
+    /// to edges. Vacuous on the complete graph.
+    #[must_use]
+    pub fn addressing(mut self, mode: DirectAddressing) -> Self {
+        self.common.addressing = mode;
         self
     }
 
@@ -476,9 +506,24 @@ mod tests {
     }
 
     #[test]
+    fn topology_builder_mirrors_common_config() {
+        let s = Scenario::broadcast(64)
+            .topology(Topology::RandomRegular(4))
+            .addressing(DirectAddressing::Restricted);
+        assert_eq!(s.common().topology, Topology::RandomRegular(4));
+        assert_eq!(s.common().addressing, DirectAddressing::Restricted);
+    }
+
+    #[test]
     #[should_panic(expected = "\"message_loss\" wants a probability")]
     fn builder_rejects_out_of_range_loss() {
         let _ = Scenario::broadcast(8).message_loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "\"degree\" wants an integer >= 2")]
+    fn builder_rejects_invalid_topology_naming_the_knob() {
+        let _ = Scenario::broadcast(8).topology(Topology::RandomRegular(1));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! were validated across `n ∈ [2^8, 2^20]` (see the integration tests and
 //! EXPERIMENTS.md).
 
-use phonecall::{ChurnConfig, FailurePlan, NodeIdx};
+use phonecall::{ChurnConfig, DirectAddressing, FailurePlan, NodeIdx, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::params::{err, ParamError, Value};
@@ -36,6 +36,17 @@ pub struct CommonConfig {
     /// default, in which case nothing is scheduled and runs are
     /// bit-identical to pre-churn builds.
     pub churn: ChurnConfig,
+    /// The communication topology (see `phonecall::topology`).
+    /// [`Topology::Complete`] — the default — installs nothing, keeping
+    /// runs bit-identical to pre-topology builds; anything else confines
+    /// address-oblivious contacts to graph neighbors.
+    pub topology: Topology,
+    /// How direct addressing interacts with a restricted topology:
+    /// learned-ID calls cross the graph under
+    /// [`DirectAddressing::Overlay`] (default) and are confined to edges
+    /// under [`DirectAddressing::Restricted`]. Vacuous on the complete
+    /// graph.
+    pub addressing: DirectAddressing,
 }
 
 impl Default for CommonConfig {
@@ -48,6 +59,8 @@ impl Default for CommonConfig {
             failures: FailurePlan::none(),
             message_loss: 0.0,
             churn: ChurnConfig::default(),
+            topology: Topology::Complete,
+            addressing: DirectAddressing::Overlay,
         }
     }
 }
@@ -61,6 +74,8 @@ impl CommonConfig {
         "failures",
         "message_loss",
         "churn",
+        "topology",
+        "addressing",
     ];
 
     /// Same configuration with a different seed (for multi-trial sweeps).
@@ -101,6 +116,11 @@ impl CommonConfig {
             ),
             ("message_loss", Value::Num(self.message_loss)),
             ("churn", churn_params(&self.churn)),
+            ("topology", topology_params(&self.topology)),
+            (
+                "addressing",
+                Value::Str(self.addressing.label().to_string()),
+            ),
         ])
     }
 
@@ -141,6 +161,16 @@ impl CommonConfig {
                     self.message_loss = p;
                 }
                 "churn" => apply_churn_params(&mut self.churn, v)?,
+                "topology" => apply_topology_params(&mut self.topology, v)?,
+                "addressing" => {
+                    let label = v.as_str().ok_or_else(|| {
+                        err(format!(
+                            "parameter \"addressing\" wants a string, got {}",
+                            v.render()
+                        ))
+                    })?;
+                    self.addressing = DirectAddressing::parse(label).map_err(ParamError)?;
+                }
                 _ => return Err(unknown_key("scenario", key, Self::PARAM_KEYS)),
             }
         }
@@ -217,6 +247,179 @@ pub fn apply_churn_params(c: &mut ChurnConfig, overrides: &Value) -> Result<(), 
         }
     }
     c.validate().map_err(ParamError)
+}
+
+/// A [`Topology`] as a JSON object (the topology half of
+/// [`CommonConfig::params`]): a `"kind"` tag plus the family's knobs,
+/// so a scenario's contact graph travels through files and perf records
+/// like any other tunable.
+#[must_use]
+pub fn topology_params(t: &Topology) -> Value {
+    let kind = |k: &str| ("kind", Value::Str(k.to_string()));
+    match t {
+        Topology::Complete => Value::obj([kind("complete")]),
+        Topology::Ring => Value::obj([kind("ring")]),
+        Topology::Torus2D => Value::obj([kind("torus2d")]),
+        Topology::RandomRegular(d) => Value::obj([
+            kind("random_regular"),
+            ("degree", Value::Num(f64::from(*d))),
+        ]),
+        Topology::ErdosRenyi(p) => Value::obj([kind("erdos_renyi"), ("p", Value::Num(*p))]),
+        Topology::WattsStrogatz(k, beta) => Value::obj([
+            kind("watts_strogatz"),
+            ("k", Value::Num(f64::from(*k))),
+            ("beta", Value::Num(*beta)),
+        ]),
+        Topology::PreferentialAttachment(m) => Value::obj([
+            kind("preferential_attachment"),
+            ("m", Value::Num(f64::from(*m))),
+        ]),
+        Topology::FromAdjacency(lists) => Value::obj([
+            kind("from_adjacency"),
+            (
+                "adjacency",
+                Value::Arr(
+                    lists
+                        .iter()
+                        .map(|row| {
+                            Value::Arr(row.iter().map(|&v| Value::Num(f64::from(v))).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+const TOPOLOGY_KINDS: &[&str] = &[
+    "complete",
+    "ring",
+    "torus2d",
+    "random_regular",
+    "erdos_renyi",
+    "watts_strogatz",
+    "preferential_attachment",
+    "from_adjacency",
+];
+
+/// Replaces a [`Topology`] from a JSON object (the inverse of
+/// [`topology_params`]): the `"kind"` tag selects the family, the
+/// remaining keys must be exactly that family's knobs, and the result
+/// must pass [`Topology::validate`].
+///
+/// # Errors
+///
+/// Rejects a missing or unknown `"kind"` (listing the valid ones),
+/// knobs that don't belong to the selected family, wrongly typed
+/// values, and out-of-range knobs (naming the offending one).
+pub fn apply_topology_params(t: &mut Topology, overrides: &Value) -> Result<(), ParamError> {
+    let entries = overrides.expect_obj("topology parameters")?;
+    let kind = entries
+        .iter()
+        .find(|(k, _)| k == "kind")
+        .map(|(_, v)| v)
+        .ok_or_else(|| err("topology parameters need a \"kind\" key".to_string()))?;
+    let kind = kind.as_str().ok_or_else(|| {
+        err(format!(
+            "parameter \"kind\" wants a string, got {}",
+            kind.render()
+        ))
+    })?;
+    let knob = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let (built, valid_knobs): (Topology, &[&str]) = match kind {
+        "complete" => (Topology::Complete, &[]),
+        "ring" => (Topology::Ring, &[]),
+        "torus2d" => (Topology::Torus2D, &[]),
+        "random_regular" => {
+            let d = match knob("degree") {
+                Some(v) => want_u32("degree", v)?,
+                None => {
+                    return Err(err(
+                        "topology kind \"random_regular\" needs \"degree\"".to_string()
+                    ))
+                }
+            };
+            (Topology::RandomRegular(d), &["degree"])
+        }
+        "erdos_renyi" => {
+            let p = match knob("p") {
+                Some(v) => want_f64("p", v)?,
+                None => return Err(err("topology kind \"erdos_renyi\" needs \"p\"".to_string())),
+            };
+            (Topology::ErdosRenyi(p), &["p"])
+        }
+        "watts_strogatz" => {
+            let k = match knob("k") {
+                Some(v) => want_u32("k", v)?,
+                None => {
+                    return Err(err(
+                        "topology kind \"watts_strogatz\" needs \"k\"".to_string()
+                    ))
+                }
+            };
+            let beta = match knob("beta") {
+                Some(v) => want_f64("beta", v)?,
+                None => {
+                    return Err(err(
+                        "topology kind \"watts_strogatz\" needs \"beta\"".to_string()
+                    ))
+                }
+            };
+            (Topology::WattsStrogatz(k, beta), &["k", "beta"])
+        }
+        "preferential_attachment" => {
+            let m = match knob("m") {
+                Some(v) => want_u32("m", v)?,
+                None => {
+                    return Err(err(
+                        "topology kind \"preferential_attachment\" needs \"m\"".to_string()
+                    ))
+                }
+            };
+            (Topology::PreferentialAttachment(m), &["m"])
+        }
+        "from_adjacency" => {
+            let lists = match knob("adjacency") {
+                Some(Value::Arr(rows)) => rows
+                    .iter()
+                    .map(|row| want_u32_array("adjacency", row))
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(v) => {
+                    return Err(err(format!(
+                        "parameter \"adjacency\" wants an array of integer arrays, got {}",
+                        v.render()
+                    )))
+                }
+                None => {
+                    return Err(err(
+                        "topology kind \"from_adjacency\" needs \"adjacency\"".to_string()
+                    ))
+                }
+            };
+            (Topology::FromAdjacency(lists), &["adjacency"])
+        }
+        other => {
+            return Err(err(format!(
+                "unknown topology kind {other:?}; valid kinds: {}",
+                TOPOLOGY_KINDS.join(", ")
+            )))
+        }
+    };
+    for (key, _) in entries {
+        if key != "kind" && !valid_knobs.contains(&key.as_str()) {
+            return Err(err(format!(
+                "topology knob {key:?} does not apply to kind {kind:?}; valid knobs: {}",
+                if valid_knobs.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    valid_knobs.join(", ")
+                }
+            )));
+        }
+    }
+    built.validate().map_err(ParamError)?;
+    *t = built;
+    Ok(())
 }
 
 /// A `u64` as a JSON value: a plain number when exactly representable
@@ -772,6 +975,74 @@ mod tests {
         assert_eq!(c.stop_round, Some(12));
         apply_churn_params(&mut c, &Value::parse(r#"{"stop_round": null}"#).unwrap()).unwrap();
         assert_eq!(c.stop_round, None);
+    }
+
+    #[test]
+    fn topology_params_round_trip_every_family() {
+        for topo in [
+            Topology::Complete,
+            Topology::Ring,
+            Topology::Torus2D,
+            Topology::RandomRegular(8),
+            Topology::ErdosRenyi(0.125),
+            Topology::WattsStrogatz(6, 0.25),
+            Topology::PreferentialAttachment(3),
+            Topology::FromAdjacency(vec![vec![1], vec![0, 2], vec![1]]),
+        ] {
+            let doc = topology_params(&topo);
+            assert_eq!(Value::parse(&doc.render()).unwrap(), doc, "JSON stable");
+            let mut rebuilt = Topology::Complete;
+            apply_topology_params(&mut rebuilt, &doc).unwrap();
+            assert_eq!(rebuilt, topo, "apply(params()) is the identity");
+        }
+    }
+
+    #[test]
+    fn topology_apply_rejects_bad_kinds_knobs_and_values() {
+        let mut t = Topology::Complete;
+        let e = apply_topology_params(&mut t, &Value::parse(r#"{"kind": "moebius"}"#).unwrap())
+            .unwrap_err();
+        assert!(e.0.contains("valid kinds"), "{e}");
+        let e =
+            apply_topology_params(&mut t, &Value::parse(r#"{"degree": 4}"#).unwrap()).unwrap_err();
+        assert!(e.0.contains("\"kind\""), "{e}");
+        let e = apply_topology_params(
+            &mut t,
+            &Value::parse(r#"{"kind": "ring", "degree": 4}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("does not apply"), "{e}");
+        let e = apply_topology_params(
+            &mut t,
+            &Value::parse(r#"{"kind": "random_regular"}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("needs \"degree\""), "{e}");
+        let e = apply_topology_params(
+            &mut t,
+            &Value::parse(r#"{"kind": "erdos_renyi", "p": 7}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("\"p\""), "{e}");
+        assert_eq!(t, Topology::Complete, "failed applies leave the value");
+    }
+
+    #[test]
+    fn common_params_round_trip_topology_and_addressing() {
+        let mut common = CommonConfig::default();
+        common.topology = Topology::WattsStrogatz(4, 0.5);
+        common.addressing = DirectAddressing::Restricted;
+        let doc = common.params();
+        let mut rebuilt = CommonConfig::default();
+        rebuilt
+            .apply_params(&Value::parse(&doc.render()).unwrap())
+            .unwrap();
+        assert_eq!(rebuilt, common);
+
+        let e = rebuilt
+            .apply_params(&Value::parse(r#"{"addressing": "tunnel"}"#).unwrap())
+            .unwrap_err();
+        assert!(e.0.contains("overlay"), "{e}");
     }
 
     #[test]

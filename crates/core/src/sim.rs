@@ -57,10 +57,18 @@ impl ClusterSim {
         };
         sim.apply_failures(&common.failures);
         sim.net.set_message_loss(common.message_loss);
-        // Stream label 4: 1/2 are the engine's (ids, targets), 3 is the
-        // algorithm RNG above. Inert configs schedule nothing.
+        // Stream labels: 1/2 are the engine's (ids, targets), 3 is the
+        // algorithm RNG above, 4 the churn schedule, 5 the topology
+        // (shared with the baselines, so one scenario means one graph —
+        // and one adversary history — for every algorithm). Inert
+        // configs and the complete topology schedule/install nothing.
         sim.net
             .set_churn(common.churn.clone(), phonecall::derive_seed(common.seed, 4));
+        sim.net.set_topology(
+            common.topology.clone(),
+            common.addressing,
+            phonecall::derive_seed(common.seed, 5),
+        );
         sim.net.states_mut()[common.source as usize].informed = true;
         for &extra in &common.extra_sources {
             assert!((extra as usize) < n, "extra source index out of range");

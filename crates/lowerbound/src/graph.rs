@@ -1,7 +1,15 @@
 //! Undirected graphs as adjacency lists, and the random sample-union
 //! graph `K' = ∪_{t≤T} G_t` of the lower-bound argument.
+//!
+//! [`Graph`] shares its adjacency validation with
+//! [`phonecall::topology`] ([`phonecall::normalize_adjacency`]) and
+//! bridges into the simulator's topology subsystem both ways:
+//! [`Graph::to_topology`] turns a lower-bound graph into a
+//! [`phonecall::Topology`] the whole algorithm registry can run on, and
+//! [`Graph::from_adjacency`] lifts a materialized contact graph back so
+//! the diameter machinery ([`crate::diameter`]) can certify it.
 
-use phonecall::{derive_seed, rng_from_seed};
+use phonecall::{derive_seed, normalize_adjacency, rng_from_seed, Adjacency, Topology};
 use rand::Rng;
 
 /// A simple undirected graph on vertices `0..n`.
@@ -60,21 +68,48 @@ impl Graph {
     }
 
     /// Sorts and deduplicates all adjacency lists (call once after bulk
-    /// insertion).
+    /// insertion), via the validation shared with the simulator's
+    /// topology subsystem ([`phonecall::normalize_adjacency`]).
     pub fn finish(&mut self) {
-        self.edges = 0;
-        for l in &mut self.adj {
-            l.sort_unstable();
-            l.dedup();
-            self.edges += l.len();
-        }
-        self.edges /= 2;
+        self.edges =
+            normalize_adjacency(&mut self.adj).expect("Graph::add_edge keeps every index in range");
     }
 
     /// Maximum vertex degree.
     #[must_use]
     pub fn max_degree(&self) -> usize {
         self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The graph as a communication topology
+    /// ([`phonecall::Topology::FromAdjacency`]): run any registered
+    /// gossip algorithm *on* a lower-bound graph via
+    /// `Scenario::topology(g.to_topology())`. Supplied adjacencies are
+    /// used verbatim — disconnected graphs included (broadcast then
+    /// cannot complete, which is sometimes the point).
+    #[must_use]
+    pub fn to_topology(&self) -> Topology {
+        Topology::FromAdjacency(self.adj.clone())
+    }
+
+    /// Lifts a materialized contact graph ([`phonecall::Adjacency`], e.g.
+    /// from [`Topology::build`]) into a [`Graph`], unlocking the BFS and
+    /// certified-diameter machinery of this crate for topology
+    /// experiments.
+    #[must_use]
+    pub fn from_adjacency(adj: &Adjacency) -> Self {
+        let mut g = Graph {
+            adj: adj.to_lists(),
+            edges: 0,
+        };
+        g.finish();
+        g
+    }
+}
+
+impl From<&Graph> for Topology {
+    fn from(g: &Graph) -> Topology {
+        g.to_topology()
     }
 }
 
@@ -153,5 +188,23 @@ mod tests {
     fn zero_rounds_gives_empty_graph() {
         let g = sample_union_graph(16, 0, 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn topology_bridge_round_trips() {
+        let g = sample_union_graph(64, 3, 4);
+        let topo = g.to_topology();
+        assert_eq!(Topology::from(&g), topo);
+        let adj = topo.build(64, 0).expect("FromAdjacency materializes");
+        assert_eq!(adj.edge_count(), g.edge_count());
+        for v in 0..64u32 {
+            assert_eq!(adj.neighbors(v), g.neighbors(v), "node {v}");
+        }
+        // And back: the lifted graph is identical.
+        let back = Graph::from_adjacency(&adj);
+        assert_eq!(back.edge_count(), g.edge_count());
+        for v in 0..64u32 {
+            assert_eq!(back.neighbors(v), g.neighbors(v));
+        }
     }
 }

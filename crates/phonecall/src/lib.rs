@@ -46,6 +46,13 @@
 //!   seed-derived stream, so runs without churn are bit-identical to
 //!   runs before the subsystem existed.
 //!
+//! The network is complete by default, but a seeded [`Topology`]
+//! ([`Network::set_topology`]) restricts the contact graph: `Random`
+//! targets become uniformly random alive neighbors and, under
+//! [`DirectAddressing::Restricted`], learned-ID calls are confined to
+//! edges too. `Topology::Complete` installs nothing, so complete-graph
+//! runs stay bit-identical to pre-topology builds. See [`topology`].
+//!
 //! # Determinism
 //!
 //! All randomness flows from a single `u64` seed. Given `(n, seed)` and the
@@ -96,6 +103,7 @@ mod id;
 mod metrics;
 mod network;
 mod rng;
+pub mod topology;
 mod trace;
 mod wire;
 
@@ -107,5 +115,6 @@ pub use id::{IdSpace, NodeId, NodeIdx};
 pub use metrics::{Metrics, RoundStats};
 pub use network::{Network, NodeCtx};
 pub use rng::{derive_seed, rng_from_seed};
+pub use topology::{normalize_adjacency, Adjacency, DirectAddressing, Topology};
 pub use trace::{Event, EventKind, Trace};
 pub use wire::{header_bits, id_bits, Wire};

@@ -49,6 +49,13 @@ pub struct Metrics {
     pub recoveries: u64,
     /// Rounds spent in the burst-loss chain's bad state.
     pub burst_rounds: u64,
+    /// Undirected edge count of the installed contact graph (see
+    /// `crate::Topology`); 0 on the complete graph, whose edges are
+    /// implicit.
+    pub topology_edges: u64,
+    /// Maximum degree of the installed contact graph; 0 on the complete
+    /// graph.
+    pub topology_max_degree: u64,
     /// Per-round breakdown (always recorded; one small struct per round).
     pub per_round: Vec<RoundStats>,
 }
@@ -88,6 +95,10 @@ impl Metrics {
         self.crashes += other.crashes;
         self.recoveries += other.recoveries;
         self.burst_rounds += other.burst_rounds;
+        // Graph shape is a property of the run, not a flow; keep the
+        // densest phase's values.
+        self.topology_edges = self.topology_edges.max(other.topology_edges);
+        self.topology_max_degree = self.topology_max_degree.max(other.topology_max_degree);
         self.per_round.extend(other.per_round.iter().copied());
     }
 }

@@ -30,6 +30,7 @@ use crate::failure::FailurePlan;
 use crate::id::{IdSpace, NodeId, NodeIdx};
 use crate::metrics::{Metrics, RoundStats};
 use crate::rng::{derive_seed, rng_from_seed};
+use crate::topology::{Adjacency, DirectAddressing, Topology};
 use crate::trace::{Event, EventKind, Trace};
 use crate::wire::{header_bits, Wire};
 
@@ -66,9 +67,24 @@ pub struct Network<S> {
     /// The dynamic adversary, if one is attached (see [`ChurnConfig`]):
     /// applied at the start of every round, from its own random stream.
     churn: Option<AdversarySchedule>,
+    /// The restricted contact graph, if one is installed (see
+    /// [`Topology`] / [`Self::set_topology`]). `None` — the complete
+    /// graph — keeps the engine on its original sampling path.
+    topo: Option<TopologyView>,
     // Scratch buffers reused across rounds to avoid per-round allocation.
     fan_in: Vec<u32>,
     scratch: ScratchCell,
+}
+
+/// A materialized topology installed on a network: the CSR adjacency
+/// (built once at install time — the round loop never allocates), the
+/// direct-addressing mode, and the neighbor-sampling RNG, a stream of
+/// its own so the engine RNG draws exactly what it always drew.
+#[derive(Debug)]
+struct TopologyView {
+    adj: Adjacency,
+    mode: DirectAddressing,
+    rng: SmallRng,
 }
 
 /// Per-round scratch for one message type `M`: the resolved pushes and
@@ -174,6 +190,7 @@ impl<S> Network<S> {
             trace: Trace::disabled(),
             loss: 0.0,
             churn: None,
+            topo: None,
             fan_in: vec![0; n],
             scratch: ScratchCell::default(),
         }
@@ -201,6 +218,7 @@ impl<S> Network<S> {
             trace: Trace::disabled(),
             loss: 0.0,
             churn: None,
+            topo: None,
             fan_in: vec![0; n],
             scratch: ScratchCell::default(),
         }
@@ -241,6 +259,53 @@ impl<S> Network<S> {
     #[must_use]
     pub fn churn_schedule(&self) -> Option<&AdversarySchedule> {
         self.churn.as_ref()
+    }
+
+    /// Installs a communication topology (see [`Topology`]): `Random`
+    /// targets become uniformly random **alive neighbors** on the graph
+    /// (drawn from their own stream derived from `seed`, independent of
+    /// the engine RNG), and under [`DirectAddressing::Restricted`]
+    /// direct calls to non-neighbors are lost in the void. The adjacency
+    /// is materialized here, once — the round loop stays allocation-free.
+    ///
+    /// [`Topology::Complete`] (the base model) installs nothing, leaving
+    /// the run bit-identical to one that never called this — whatever
+    /// the `mode`, since every pair is an edge on the complete graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology fails [`Topology::validate`], does not fit
+    /// this network's size, or cannot produce a connected instance (see
+    /// [`Topology::build`]).
+    pub fn set_topology(&mut self, topology: Topology, mode: DirectAddressing, seed: u64) {
+        // Reset first so re-installing Complete over a previous topology
+        // clears the shape metrics along with the view.
+        self.metrics.topology_edges = 0;
+        self.metrics.topology_max_degree = 0;
+        self.topo = topology.build(self.len(), derive_seed(seed, 1)).map(|adj| {
+            self.metrics.topology_edges = adj.edge_count() as u64;
+            self.metrics.topology_max_degree = adj.max_degree() as u64;
+            TopologyView {
+                adj,
+                mode,
+                rng: rng_from_seed(derive_seed(seed, 2)),
+            }
+        });
+    }
+
+    /// The installed contact graph, or `None` on the complete graph.
+    #[must_use]
+    pub fn topology_adjacency(&self) -> Option<&Adjacency> {
+        self.topo.as_ref().map(|t| &t.adj)
+    }
+
+    /// The direct-addressing mode in force ([`DirectAddressing::Overlay`]
+    /// on the complete graph, where the distinction is vacuous).
+    #[must_use]
+    pub fn addressing(&self) -> DirectAddressing {
+        self.topo
+            .as_ref()
+            .map_or(DirectAddressing::Overlay, |t| t.mode)
     }
 
     /// Number of nodes (alive and failed).
@@ -415,14 +480,43 @@ impl<S> Network<S> {
             stats.initiators += 1;
             self.fan_in[i] += 1;
             let dst = match target {
-                Target::Random => {
-                    if n == 1 {
-                        continue; // nobody to talk to
+                Target::Random => match self.topo.as_mut() {
+                    None => {
+                        if n == 1 {
+                            continue; // nobody to talk to
+                        }
+                        Self::sample_other(&mut self.rng, n, idx)
                     }
-                    Self::sample_other(&mut self.rng, n, idx)
-                }
+                    // On a contact graph: a uniformly random alive
+                    // neighbor, from the topology's own stream. With
+                    // every neighbor down the connection attempt fails
+                    // and the node sits the round out (still charged as
+                    // an initiation, like a call to an unknown address).
+                    Some(view) => {
+                        match view
+                            .adj
+                            .sample_alive_neighbor(&mut view.rng, idx, &self.alive)
+                        {
+                            Some(d) => d,
+                            None => continue,
+                        }
+                    }
+                },
                 Target::Direct(id) => match self.ids.resolve(id) {
-                    Some(d) => d,
+                    Some(d) => {
+                        // Restricted direct addressing: a learned ID is
+                        // only usable over an existing link; calls to
+                        // non-neighbors are lost in the void (charged,
+                        // never delivered).
+                        if let Some(view) = &self.topo {
+                            if view.mode == DirectAddressing::Restricted
+                                && !view.adj.contains_edge(idx.0, d.0)
+                            {
+                                continue;
+                            }
+                        }
+                        d
+                    }
                     // Unknown address: the message is lost in the void but
                     // the attempt still counts as an initiated communication.
                     None => continue,
@@ -813,6 +907,19 @@ mod tests {
     fn invalid_loss_rejected() {
         let mut net: Network<St> = Network::new(4, 0);
         net.set_message_loss(1.5);
+    }
+
+    #[test]
+    fn reinstalling_complete_clears_topology_metrics() {
+        use crate::topology::{DirectAddressing, Topology};
+        let mut net: Network<St> = Network::new(8, 20);
+        net.set_topology(Topology::Ring, DirectAddressing::Overlay, 3);
+        assert_eq!(net.metrics().topology_edges, 8);
+        assert_eq!(net.metrics().topology_max_degree, 2);
+        net.set_topology(Topology::Complete, DirectAddressing::Overlay, 3);
+        assert!(net.topology_adjacency().is_none());
+        assert_eq!(net.metrics().topology_edges, 0, "stale shape cleared");
+        assert_eq!(net.metrics().topology_max_degree, 0);
     }
 
     #[test]

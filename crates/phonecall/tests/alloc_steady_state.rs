@@ -7,36 +7,48 @@
 //! per-round stats — so after a warm-up round and a
 //! [`Network::reserve_rounds`] call, executing rounds must perform *zero*
 //! heap allocations. This test wraps the global allocator in a counter
-//! and asserts exactly that.
+//! and asserts exactly that — for the base engine, with the dynamic
+//! adversary attached, and with a `RandomRegular` topology installed
+//! (neighbor sampling scans the CSR adjacency built once at install
+//! time; it must never allocate per round).
 //!
 //! It lives in its own integration-test binary (one `#[test]` function)
-//! so no concurrently running test can pollute the allocation counter.
+//! so no concurrently running test can pollute the allocation counter —
+//! and the counter is **thread-local**, because the libtest harness
+//! thread occasionally allocates (timers, output buffering) concurrently
+//! with the measured loop, which made a process-global count flaky.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
-use phonecall::{Action, ChurnConfig, Delivery, Network, Target};
+use phonecall::{Action, ChurnConfig, Delivery, DirectAddressing, Network, Target, Topology};
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// Allocation-path calls made by *this* thread. Const-initialized so
+    /// reading it from inside the allocator never itself allocates.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
-/// `System`, plus a count of every allocation-path call.
+/// `System`, plus a per-thread count of every allocation-path call.
 struct CountingAlloc;
 
 // SAFETY: defers every operation to `System`; the counter has no effect
-// on the returned memory.
+// on the returned memory. The thread-local access uses `try_with` so a
+// late allocation during thread teardown (destroyed TLS) is simply not
+// counted rather than aborting.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 
@@ -49,7 +61,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(Cell::get)
 }
 
 #[derive(Clone, Default)]
@@ -77,26 +89,29 @@ fn mixed_round(net: &mut Network<St>) {
     );
 }
 
-#[test]
-fn round_loop_does_not_allocate_in_steady_state() {
-    const MEASURED_ROUNDS: usize = 64;
-    let mut net: Network<St> = Network::new(1 << 10, 42);
+const MEASURED_ROUNDS: usize = 64;
 
-    // Warm-up: the first round sizes the scratch buffers; the reserve
-    // call pre-grows the per-round metrics log past the measured window.
-    mixed_round(&mut net);
-    mixed_round(&mut net);
+/// Warm-up, reserve, then assert the measured window allocates nothing.
+fn assert_steady_state_is_allocation_free(net: &mut Network<St>, what: &str) {
+    mixed_round(net);
+    mixed_round(net);
     net.reserve_rounds(MEASURED_ROUNDS + 1);
 
     let before = allocations();
     for _ in 0..MEASURED_ROUNDS {
-        mixed_round(&mut net);
+        mixed_round(net);
     }
     let during = allocations() - before;
     assert_eq!(
         during, 0,
-        "steady-state round loop allocated {during} times over {MEASURED_ROUNDS} rounds"
+        "{what} round loop allocated {during} times over {MEASURED_ROUNDS} rounds"
     );
+}
+
+#[test]
+fn round_loop_does_not_allocate_in_steady_state() {
+    let mut net: Network<St> = Network::new(1 << 10, 42);
+    assert_steady_state_is_allocation_free(&mut net, "steady-state");
 
     // The run must still have done real work for the zero to mean
     // anything.
@@ -121,22 +136,36 @@ fn round_loop_does_not_allocate_in_steady_state() {
         },
         99,
     );
-    mixed_round(&mut churny);
-    mixed_round(&mut churny);
-    churny.reserve_rounds(MEASURED_ROUNDS + 1);
-
-    let before = allocations();
-    for _ in 0..MEASURED_ROUNDS {
-        mixed_round(&mut churny);
-    }
-    let during = allocations() - before;
-    assert_eq!(
-        during, 0,
-        "churn-enabled round loop allocated {during} times over {MEASURED_ROUNDS} rounds"
-    );
+    assert_steady_state_is_allocation_free(&mut churny, "churn-enabled");
     let m = churny.metrics();
     assert!(
         m.crashes > 0 && m.recoveries > 0 && m.burst_rounds > 0,
         "the schedule must actually have fired for the zero to mean anything"
+    );
+
+    // Same contract with a topology installed: the adjacency is built
+    // once at install time, Random targets scan a CSR row (no buffers),
+    // and the Restricted direct-call gate is a binary search — so a
+    // neighbor-constrained network must also run allocation-free. Churn
+    // rides along so the alive-neighbor filter actually exercises both
+    // branches.
+    let mut sparse: Network<St> = Network::new(1 << 10, 44);
+    sparse.set_topology(Topology::RandomRegular(8), DirectAddressing::Restricted, 7);
+    sparse.set_churn(
+        ChurnConfig {
+            crash_rate: 0.5,
+            batch_size: 8,
+            recovery_rate: 0.3,
+            ..ChurnConfig::default()
+        },
+        100,
+    );
+    assert_steady_state_is_allocation_free(&mut sparse, "topology-enabled");
+    let m = sparse.metrics();
+    assert_eq!(m.topology_edges, (1 << 10) * 8 / 2);
+    assert_eq!(m.topology_max_degree, 8);
+    assert!(
+        m.pushes > 0 && m.pull_requests > 0 && m.crashes > 0,
+        "the constrained network must actually have trafficked"
     );
 }

@@ -93,5 +93,8 @@ pub mod prelude {
     };
     pub use gossip_harness::{run_algorithm_trials, Summary, Table};
     pub use gossip_lowerbound::estimate_success;
-    pub use phonecall::{ChurnConfig, FailurePlan, Metrics, Network, NodeId, NodeIdx};
+    pub use phonecall::{
+        Adjacency, ChurnConfig, DirectAddressing, FailurePlan, Metrics, Network, NodeId, NodeIdx,
+        Topology,
+    };
 }

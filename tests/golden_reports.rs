@@ -19,9 +19,10 @@
 //! ```
 //!
 //! and paste the printed rows over the `GOLDEN` table below (the churn
-//! test prints its rows under a `// churn grid:` header for the
-//! `CHURN_GOLDEN` table). Do this only when the change is meant to alter
-//! traffic patterns; the whole point of the table is to make that
+//! and topology tests print their rows under `// churn grid:` /
+//! `// topology grid:` headers for the `CHURN_GOLDEN` /
+//! `TOPOLOGY_GOLDEN` tables). Do this only when the change is meant to
+//! alter traffic patterns; the whole point of the table is to make that
 //! decision explicit.
 
 use optimal_gossip::prelude::*;
@@ -159,6 +160,159 @@ const CHURN_GOLDEN: &[Golden] = &[
     ("NameDropper", 256, 1, 31, 7700, 11128368, 255),
     ("NameDropper", 256, 7, 31, 7750, 13054688, 253),
 ];
+
+/// The canonical topology grid: one sparse extreme and one expander
+/// under restricted addressing, the same expander plus a small world
+/// under overlay — the four corners of E11's sweep — at `n = 256`,
+/// seed 1. As with churn, the runs are *not* required to succeed
+/// (restricted sparse graphs defeat the clustered algorithms by
+/// design); the digests pin the neighbor-sampling stream, the
+/// restricted-edge gating and the per-scenario graph build exactly.
+fn topology_grid_points() -> Vec<(&'static str, Topology, DirectAddressing)> {
+    vec![
+        (
+            "ring/restricted",
+            Topology::Ring,
+            DirectAddressing::Restricted,
+        ),
+        (
+            "rr8/restricted",
+            Topology::RandomRegular(8),
+            DirectAddressing::Restricted,
+        ),
+        (
+            "rr8/overlay",
+            Topology::RandomRegular(8),
+            DirectAddressing::Overlay,
+        ),
+        (
+            "ws6/overlay",
+            Topology::WattsStrogatz(6, 0.2),
+            DirectAddressing::Overlay,
+        ),
+    ]
+}
+
+/// One pinned topology grid point: (algorithm, scenario, rounds,
+/// messages, bits, informed) at `n = 256`, seed 1.
+type TopoGolden = (&'static str, &'static str, u64, u64, u64, usize);
+
+/// Pinned digests for every registered algorithm at every point of
+/// [`topology_grid_points`].
+#[rustfmt::skip]
+const TOPOLOGY_GOLDEN: &[TopoGolden] = &[
+    // (algo, topology/addressing, rounds, messages, bits, informed)
+    ("Cluster2", "ring/restricted", 75, 4471, 203562, 1),
+    ("Cluster2", "rr8/restricted", 75, 4924, 231666, 1),
+    ("Cluster2", "rr8/overlay", 75, 8105, 416078, 256),
+    ("Cluster2", "ws6/overlay", 75, 8111, 419020, 256),
+    ("Cluster1", "ring/restricted", 49, 2713, 102076, 3),
+    ("Cluster1", "rr8/restricted", 49, 2386, 112939, 1),
+    ("Cluster1", "rr8/overlay", 49, 11409, 572079, 256),
+    ("Cluster1", "ws6/overlay", 49, 9641, 489288, 256),
+    ("AvinElsasser", "ring/restricted", 52, 3849, 153278, 21),
+    ("AvinElsasser", "rr8/restricted", 52, 3261, 348920, 256),
+    ("AvinElsasser", "rr8/overlay", 52, 4913, 803960, 256),
+    ("AvinElsasser", "ws6/overlay", 52, 4777, 769455, 256),
+    ("Karp", "ring/restricted", 26, 6271, 236672, 35),
+    ("Karp", "rr8/restricted", 26, 2736, 432288, 256),
+    ("Karp", "rr8/overlay", 26, 2736, 432288, 256),
+    ("Karp", "ws6/overlay", 26, 2741, 337408, 256),
+    ("PushPull", "ring/restricted", 104, 26742, 3238944, 159),
+    ("PushPull", "rr8/restricted", 9, 2480, 350368, 256),
+    ("PushPull", "rr8/overlay", 9, 2480, 350368, 256),
+    ("PushPull", "ws6/overlay", 11, 2985, 415488, 256),
+    ("Push", "ring/restricted", 104, 6072, 1943040, 122),
+    ("Push", "rr8/restricted", 14, 1374, 439680, 256),
+    ("Push", "rr8/overlay", 14, 1374, 439680, 256),
+    ("Push", "ws6/overlay", 22, 2296, 734720, 256),
+    ("Pull", "ring/restricted", 104, 21388, 714944, 107),
+    ("Pull", "rr8/restricted", 12, 2303, 147136, 256),
+    ("Pull", "rr8/overlay", 12, 2303, 147136, 256),
+    ("Pull", "ws6/overlay", 20, 3379, 181568, 256),
+    ("Cluster3", "ring/restricted", 108, 5128, 239689, 237),
+    ("Cluster3", "rr8/restricted", 108, 6603, 322424, 256),
+    ("Cluster3", "rr8/overlay", 108, 12781, 644070, 256),
+    ("Cluster3", "ws6/overlay", 108, 12833, 646565, 256),
+    ("ClusterPushPull", "ring/restricted", 156, 8298, 364169, 27),
+    ("ClusterPushPull", "rr8/restricted", 156, 8560, 635416, 256),
+    ("ClusterPushPull", "rr8/overlay", 156, 16004, 1321926, 256),
+    ("ClusterPushPull", "ws6/overlay", 156, 16186, 1294533, 256),
+    ("Tree", "ring/restricted", 4, 2, 352, 2),
+    ("Tree", "rr8/restricted", 4, 8, 544, 2),
+    ("Tree", "rr8/overlay", 2, 510, 89760, 256),
+    ("Tree", "ws6/overlay", 2, 510, 89760, 256),
+    ("NameDropper", "ring/restricted", 296, 9392, 3161504, 0),
+    ("NameDropper", "rr8/restricted", 296, 2650, 296112, 0),
+    ("NameDropper", "rr8/overlay", 26, 6656, 10949984, 256),
+    ("NameDropper", "ws6/overlay", 26, 6656, 10949984, 256),
+];
+
+fn topology_grid() -> Vec<(
+    &'static dyn Algorithm,
+    &'static str,
+    Topology,
+    DirectAddressing,
+)> {
+    let mut g = Vec::new();
+    for &algo in registry::all() {
+        for (name, topo, mode) in topology_grid_points() {
+            g.push((algo, name, topo, mode));
+        }
+    }
+    g
+}
+
+fn topology_digest(
+    algo: &dyn Algorithm,
+    scenario_name: &'static str,
+    topo: Topology,
+    mode: DirectAddressing,
+) -> TopoGolden {
+    let r = algo.run(
+        &Scenario::broadcast(256)
+            .seed(1)
+            .topology(topo)
+            .addressing(mode),
+    );
+    (
+        algo.name(),
+        scenario_name,
+        r.rounds,
+        r.messages,
+        r.bits,
+        r.informed,
+    )
+}
+
+#[test]
+fn topology_run_reports_match_golden_digests() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        println!("// topology grid:");
+        for (algo, name, topo, mode) in topology_grid() {
+            let (algo, name, rounds, messages, bits, informed) =
+                topology_digest(algo, name, topo, mode);
+            println!("    (\"{algo}\", \"{name}\", {rounds}, {messages}, {bits}, {informed}),");
+        }
+        return;
+    }
+    assert_eq!(
+        TOPOLOGY_GOLDEN.len(),
+        topology_grid().len(),
+        "topology golden table out of sync with the registry grid; regenerate with GOLDEN_REGEN=1"
+    );
+    for (&(name, scenario, rounds, messages, bits, informed), (algo, gname, topo, mode)) in
+        TOPOLOGY_GOLDEN.iter().zip(topology_grid())
+    {
+        assert_eq!((name, scenario), (algo.name(), gname), "grid drift");
+        let got = topology_digest(algo, gname, topo, mode);
+        assert_eq!(
+            got,
+            (name, scenario, rounds, messages, bits, informed),
+            "{name} at {scenario} drifted from its topology golden digest"
+        );
+    }
+}
 
 fn churn_grid() -> Vec<(&'static dyn Algorithm, usize, u64)> {
     let mut g = Vec::new();

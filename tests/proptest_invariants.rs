@@ -310,6 +310,97 @@ proptest! {
         prop_assert_eq!(u64::from(net.last_fan_in().iter().copied().max().unwrap_or(0)), stats.max_fan_in);
     }
 
+    /// Topology generators: every family builds a *connected* graph at
+    /// any (n, seed) — disconnected draws are regenerated internally
+    /// with a derived seed — with its family's degree bounds intact and
+    /// a symmetric edge relation.
+    #[test]
+    fn generated_topologies_are_connected_with_degree_bounds(
+        seed in 0u64..1000,
+        n in 8usize..200,
+        pick in 0u32..6,
+    ) {
+        use optimal_gossip::prelude::Topology;
+        let p = (3.0 * (n as f64).ln() / n as f64).min(1.0);
+        let topo = match pick {
+            0 => Topology::Ring,
+            1 => Topology::Torus2D,
+            2 => Topology::RandomRegular(4),
+            3 => Topology::ErdosRenyi(p),
+            4 => Topology::WattsStrogatz(4, 0.3),
+            _ => Topology::PreferentialAttachment(3),
+        };
+        let adj = topo.build(n, seed).expect("non-complete topologies materialize");
+        prop_assert_eq!(adj.len(), n);
+        prop_assert!(adj.is_connected(), "{} disconnected at n={n} seed={seed}", topo.name());
+        for v in 0..n as u32 {
+            let deg = adj.degree(v);
+            prop_assert!(deg >= 1 && deg < n, "{}: degree {deg} at node {v}", topo.name());
+            match topo {
+                Topology::Ring => prop_assert!(deg <= 2),
+                Topology::Torus2D => prop_assert!(deg <= 4),
+                Topology::RandomRegular(d) => prop_assert_eq!(deg, d as usize),
+                _ => {}
+            }
+            // Symmetry: every listed edge exists in both directions.
+            for &u in adj.neighbors(v) {
+                prop_assert!(adj.contains_edge(u, v), "asymmetric edge {u}-{v}");
+                prop_assert!(u != v, "self loop at {v}");
+            }
+        }
+    }
+
+    /// With a topology installed, every communication of a Random-target
+    /// workload travels along a graph edge — the engine never samples a
+    /// non-neighbor — and the run is deterministic per seed.
+    #[test]
+    fn random_sampling_is_confined_to_edges(
+        seed in 0u64..1000,
+        n in 8usize..128,
+        rounds in 1u32..6,
+    ) {
+        use optimal_gossip::prelude::{DirectAddressing, Topology};
+        use phonecall::{Action, Target};
+        let run = |seed: u64| {
+            let mut net: Network<u64> = Network::new(n, seed);
+            net.set_topology(
+                Topology::WattsStrogatz(4, 0.2),
+                DirectAddressing::Restricted,
+                phonecall::derive_seed(seed, 5),
+            );
+            net.enable_trace(4 * n * rounds as usize);
+            for _ in 0..rounds {
+                net.round(
+                    |ctx, _rng| {
+                        if ctx.idx.0 % 2 == 0 {
+                            Action::Push { to: Target::Random, msg: 1u64 }
+                        } else {
+                            Action::<u64>::Pull { to: Target::Random }
+                        }
+                    },
+                    |s| Some(*s),
+                    |s, _d| *s += 1,
+                );
+            }
+            let edges: Vec<(u32, u32)> = net
+                .trace()
+                .events()
+                .iter()
+                .map(|e| (e.from.0, e.to.0))
+                .collect();
+            let adj = net.topology_adjacency().expect("installed").clone();
+            (edges, adj, net.metrics().clone())
+        };
+        let (edges, adj, metrics) = run(seed);
+        prop_assert!(!edges.is_empty());
+        for (from, to) in &edges {
+            prop_assert!(adj.contains_edge(*from, *to), "{from}->{to} is not an edge");
+        }
+        let (edges2, _, metrics2) = run(seed);
+        prop_assert_eq!(edges, edges2, "topology runs must be deterministic");
+        prop_assert_eq!(metrics, metrics2);
+    }
+
     /// Failure plans: random plans have exactly the requested size and
     /// stay within range; applying them reduces alive counts accordingly.
     #[test]
