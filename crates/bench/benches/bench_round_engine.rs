@@ -7,7 +7,7 @@
 //! performs zero allocations in steady state; these benches track what
 //! that buys in wall time per round.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use phonecall::{Action, Delivery, Network, Target};
 
 #[derive(Clone, Default)]
@@ -80,5 +80,61 @@ fn bench_round_mixed_traffic(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_round_push_storm, bench_round_mixed_traffic);
+/// The struct-of-arrays scale bench: one iteration is one full push
+/// round, i.e. exactly `n` contacts resolved, loss-checked and
+/// delivered — so ns/iter ÷ `n` is the engine's ns/contact. The
+/// normalized table printed afterwards does that division; a flat
+/// column (2^20 within ~3× of 2^10) means a round streams through the
+/// bitset/SoA layout instead of falling off a cache cliff.
+fn bench_ns_per_contact(c: &mut Criterion) {
+    let sizes = [1usize << 10, 1 << 14, 1 << 17, 1 << 20];
+    // ~2^23 contacts of work per size: enough samples to be stable at
+    // 2^10 without making the 2^20 cell take minutes.
+    let samples_for = |n: usize| ((1usize << 23) / n).clamp(4, 256);
+
+    let mut g = c.benchmark_group("round_ns_per_contact");
+    for n in sizes {
+        g.sample_size(samples_for(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut net: Network<St> = Network::new(n, 3);
+            push_storm(&mut net); // warm the scratch buffers
+            b.iter(|| {
+                push_storm(&mut net);
+                net.metrics().rounds
+            });
+        });
+    }
+    g.finish();
+
+    // Normalized readout: ns per contact at each size, plus the scale
+    // ratio the acceptance bar tracks (2^20 vs 2^10).
+    let mut per_contact = Vec::new();
+    for n in sizes {
+        let mut net: Network<St> = Network::new(n, 3);
+        push_storm(&mut net);
+        let iters = samples_for(n);
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            push_storm(&mut net);
+            black_box(net.metrics().rounds);
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (iters as f64 * n as f64);
+        println!(
+            "bench ns_per_contact/2^{:<31} {ns:>14.2} ns/contact",
+            n.trailing_zeros()
+        );
+        per_contact.push(ns);
+    }
+    println!(
+        "bench ns_per_contact ratio 2^20 / 2^10 {:>15.2} x",
+        per_contact[3] / per_contact[0]
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_round_push_storm,
+    bench_round_mixed_traffic,
+    bench_ns_per_contact
+);
 criterion_main!(benches);

@@ -80,8 +80,15 @@ fn profiles(n: usize) -> Vec<(&'static str, ChurnConfig)> {
 fn main() {
     let opts = cli::parse();
     let mut bench = BenchJson::start("e10", &opts);
-    let n: usize = opts.n.unwrap_or(if opts.full { 1 << 13 } else { 1 << 11 });
-    let trials = opts.trials_or(if opts.full { 12 } else { 6 });
+    let n: usize = opts.n.unwrap_or(if opts.huge {
+        1 << 20
+    } else if opts.full {
+        1 << 13
+    } else {
+        1 << 11
+    });
+    // --huge scales trials down with n (to 1 at n = 2^20).
+    let trials = opts.cell_trials(opts.trials_or(if opts.full { 12 } else { 6 }), n);
     let profiles = profiles(n);
     // The broadcast field: the headline comparison seven plus the
     // clustered algorithm that actually survives churn (Algorithm 3).

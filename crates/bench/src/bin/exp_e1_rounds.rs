@@ -21,12 +21,22 @@ use gossip_harness::{
 
 fn main() {
     let opts = cli::parse();
-    let ns = opts.ns_or(if opts.full {
+    let ns = opts.ns_or(if opts.huge {
+        // The million-node grid: 2^14 → 2^17 → 2^20, where the
+        // loglog-vs-log separation becomes the headline chart.
+        geometric_ns(14, 20, 3)
+    } else if opts.full {
         geometric_ns(8, 17, 1)
     } else {
         geometric_ns(8, 14, 2)
     });
-    let trials = opts.trials_or(if opts.full { 20 } else { 8 });
+    let trials = opts.trials_or(if opts.huge {
+        16
+    } else if opts.full {
+        20
+    } else {
+        8
+    });
     let algos = opts.algos(registry::compared());
     let mut bench = BenchJson::start("e1", &opts);
 
@@ -41,7 +51,10 @@ fn main() {
     for &algo in &algos {
         let mut cells = Vec::new();
         for &n in &ns {
-            let reps = par_map_trials(0xE1, algo.name(), trials, |seed| {
+            // --huge scales the per-cell trial count down with n so the
+            // 2^20 cells stay tractable; other grids use `trials` as-is.
+            let cell_trials = opts.cell_trials(trials, n);
+            let reps = par_map_trials(0xE1, algo.name(), cell_trials, |seed| {
                 // --topo (default: complete) applies uniformly to every cell.
                 let r = algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)));
                 (r.rounds as f64, r.messages_per_node())
@@ -134,7 +147,7 @@ fn main() {
         let seq_start = std::time::Instant::now();
         for (algo, cells) in &data {
             for (&n, cell) in ns.iter().zip(cells) {
-                let seq = run_trials_seq(0xE1, algo.name(), trials, |seed| {
+                let seq = run_trials_seq(0xE1, algo.name(), opts.cell_trials(trials, n), |seed| {
                     algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)))
                         .rounds as f64
                 });
@@ -155,6 +168,7 @@ fn main() {
         let last = head_cells.last().expect("non-empty grid");
         bench.metric("trials_per_cell", f64::from(trials));
         bench.metric("grid_cells", (ns.len() * data.len()) as f64);
+        bench.metric("largest_n", *ns.last().expect("non-empty grid") as f64);
         bench.metric("wall_ms_parallel", wall_par_ms);
         bench.metric("wall_ms_sequential", wall_seq_ms);
         bench.metric("speedup_vs_seq", wall_seq_ms / wall_par_ms.max(1e-9));

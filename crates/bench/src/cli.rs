@@ -3,6 +3,9 @@
 //! Flags:
 //!
 //! * `--full` — the larger grid recorded in EXPERIMENTS.md;
+//! * `--huge` — the million-node grid (E1/E10/E11: n up to 2^20 with
+//!   per-cell trial counts auto-scaled down so a sweep stays tractable;
+//!   other experiments treat it as `--full`);
 //! * `--csv` — CSV tables instead of markdown;
 //! * `--json` — additionally write a `BENCH_eK.json` perf record;
 //! * `--algo <name>` — run a single algorithm from the registry
@@ -29,6 +32,10 @@ use phonecall::Topology;
 pub struct Options {
     /// Use the larger sweep recorded in EXPERIMENTS.md.
     pub full: bool,
+    /// Use the million-node grid (n up to 2^20, trials auto-scaled via
+    /// [`Options::cell_trials`]). Implies the `--full` grid where an
+    /// experiment has no dedicated huge grid.
+    pub huge: bool,
     /// Emit CSV instead of markdown.
     pub csv: bool,
     /// Additionally write a `BENCH_eK.json` perf record.
@@ -69,6 +76,19 @@ impl Options {
     #[must_use]
     pub fn trials_or(&self, default: u32) -> u32 {
         self.trials.unwrap_or(default)
+    }
+
+    /// Per-cell trial count for a sweep: `base` as-is on the normal
+    /// grids, scaled down `∝ 2^14/n` (never below 1, never above `base`)
+    /// under `--huge`, so a million-node cell costs about as much wall
+    /// time as a 2^14 cell at full trials.
+    #[must_use]
+    pub fn cell_trials(&self, base: u32, n: usize) -> u32 {
+        if !self.huge {
+            return base;
+        }
+        let scaled = (u64::from(base) << 14) / n.max(1) as u64;
+        scaled.clamp(1, u64::from(base)) as u32
     }
 
     /// Applies the `--topo` override (if any) onto a scenario; without
@@ -167,6 +187,7 @@ fn try_parse(args: impl Iterator<Item = String>) -> Result<Options, Terminal> {
         };
         match flag.as_str() {
             "--full" => o.full = true,
+            "--huge" => o.huge = true,
             "--csv" => o.csv = true,
             "--json" => o.json = true,
             "--list-algos" => return Err(Terminal::ListAlgos),
@@ -255,9 +276,22 @@ mod tests {
     #[test]
     fn defaults_are_off() {
         let o = parse_vec(&[]).unwrap();
-        assert!(!o.full && !o.csv && !o.json);
+        assert!(!o.full && !o.huge && !o.csv && !o.json);
         assert!(o.algo.is_none() && o.n.is_none() && o.trials.is_none());
         assert!(o.topo.is_none());
+    }
+
+    #[test]
+    fn huge_scales_cell_trials_down_with_n() {
+        let o = parse_vec(&["--huge"]).unwrap();
+        assert!(o.huge);
+        assert_eq!(o.cell_trials(16, 1 << 10), 16, "small cells keep base");
+        assert_eq!(o.cell_trials(16, 1 << 14), 16);
+        assert_eq!(o.cell_trials(16, 1 << 17), 2);
+        assert_eq!(o.cell_trials(16, 1 << 20), 1, "never below one trial");
+        // Without --huge the base count passes through untouched.
+        let o = parse_vec(&[]).unwrap();
+        assert_eq!(o.cell_trials(16, 1 << 20), 16);
     }
 
     #[test]

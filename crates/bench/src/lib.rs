@@ -49,7 +49,7 @@ pub fn algos_by_name(names: &[&str]) -> Vec<&'static dyn Algorithm> {
 /// perf regressions a machine-readable baseline.
 #[derive(Clone, Debug)]
 pub struct BenchJson {
-    experiment: &'static str,
+    experiment: String,
     started: Instant,
     stopped_ms: Option<f64>,
     grid: &'static str,
@@ -58,14 +58,26 @@ pub struct BenchJson {
 
 impl BenchJson {
     /// Starts the perf record (and its wall-time stopwatch) for
-    /// experiment `experiment` (e.g. `"e1"`).
+    /// experiment `experiment` (e.g. `"e1"`). Under `--huge` the record
+    /// key (and file name) gains a `_huge` suffix so million-node
+    /// records never overwrite the default-grid baseline.
     #[must_use]
     pub fn start(experiment: &'static str, opts: &Options) -> Self {
         BenchJson {
-            experiment,
+            experiment: if opts.huge {
+                format!("{experiment}_huge")
+            } else {
+                experiment.to_string()
+            },
             started: Instant::now(),
             stopped_ms: None,
-            grid: if opts.full { "full" } else { "default" },
+            grid: if opts.huge {
+                "huge"
+            } else if opts.full {
+                "full"
+            } else {
+                "default"
+            },
             metrics: Vec::new(),
         }
     }
@@ -221,6 +233,16 @@ mod tests {
         let open = doc.matches('{').count();
         assert_eq!(open, doc.matches('}').count());
         assert_eq!(open, 2, "root object + metrics object");
+    }
+
+    #[test]
+    fn huge_grid_suffixes_the_record_key() {
+        let mut opts = Options::default();
+        opts.huge = true;
+        let b = BenchJson::start("e1", &opts);
+        let doc = b.render();
+        assert!(doc.contains("\"experiment\": \"e1_huge\""));
+        assert!(doc.contains("\"grid\": \"huge\""));
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! A shared chunked arena for the per-node scratch lists.
+//!
+//! Before this module each [`crate::ClusterNode`] carried three `Vec`s
+//! (`inbox`, `members`, `candidates`) — 72 bytes of header per node plus
+//! one heap allocation each the first time a node touched them, scattered
+//! across the heap in node order. At `n = 2^20` that is three million
+//! tiny allocations the round loop chases through. Here the backing
+//! storage is one shared [`Arena`]: fixed-size chunks (sized so one chunk
+//! of `NodeId`s fills a 64-byte cache line) linked through a freelist,
+//! with each node holding only a 12-byte [`List`] handle. Clearing a list
+//! splices its whole chain back onto the freelist in O(1), so the
+//! steady-state round loop recycles chunks instead of allocating.
+//!
+//! The arena uses `RefCell` interior mutability: the engine's decide /
+//! respond / deliver closures all run sequentially on one thread but
+//! borrow node state mutably, so they capture `&Arena` and borrow the
+//! backing store only for the duration of a single list operation.
+
+use std::cell::RefCell;
+
+/// Elements per chunk. Chosen so a chunk of 8-byte elements plus its
+/// `next` link is exactly one 64-byte cache line.
+const CHUNK_CAP: usize = 7;
+
+/// Sentinel "no chunk" index.
+const NIL: u32 = u32::MAX;
+
+/// A handle to a list of `T`s stored in an [`Arena`].
+///
+/// Only meaningful together with the arena that produced it. The handle
+/// is 12 bytes regardless of list length; [`List::default`] is the empty
+/// list, so `std::mem::take` detaches a list in O(1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct List {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for List {
+    fn default() -> Self {
+        List {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+impl List {
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[derive(Debug)]
+struct Chunk<T> {
+    items: [T; CHUNK_CAP],
+    next: u32,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    chunks: Vec<Chunk<T>>,
+    free: u32,
+    fill: T,
+}
+
+/// A chunked freelist arena backing many [`List`]s of `T`.
+///
+/// All operations take `&self`; the backing store is borrow-checked at
+/// runtime per operation, which lets the simulation closures share the
+/// arena while mutating disjoint node states.
+#[derive(Debug)]
+pub struct Arena<T: Copy> {
+    inner: RefCell<Inner<T>>,
+}
+
+impl<T: Copy> Arena<T> {
+    /// An empty arena. `fill` initializes fresh chunk slots (never
+    /// observable through the API; any copyable value works).
+    #[must_use]
+    pub fn new(fill: T) -> Self {
+        Arena {
+            inner: RefCell::new(Inner {
+                chunks: Vec::new(),
+                free: NIL,
+                fill,
+            }),
+        }
+    }
+
+    /// Appends `v` to `list` in amortized O(1).
+    pub fn push(&self, list: &mut List, v: T) {
+        self.inner.borrow_mut().push(list, v);
+    }
+
+    /// Appends every element of `iter` to `list`.
+    pub fn extend<I: IntoIterator<Item = T>>(&self, list: &mut List, iter: I) {
+        let mut g = self.inner.borrow_mut();
+        for v in iter {
+            g.push(list, v);
+        }
+    }
+
+    /// Empties `list`, splicing its chunks onto the freelist in O(1).
+    pub fn clear(&self, list: &mut List) {
+        self.inner.borrow_mut().clear(list);
+    }
+
+    /// The first element, if any.
+    #[must_use]
+    pub fn first(&self, list: &List) -> Option<T> {
+        if list.len == 0 {
+            return None;
+        }
+        Some(self.inner.borrow().chunks[list.head as usize].items[0])
+    }
+
+    /// Copies the list's elements into a fresh `Vec`, in insertion order.
+    #[must_use]
+    pub fn to_vec(&self, list: &List) -> Vec<T> {
+        let g = self.inner.borrow();
+        let mut out = Vec::with_capacity(list.len());
+        let mut c = list.head;
+        let mut remaining = list.len();
+        while c != NIL {
+            let chunk = &g.chunks[c as usize];
+            let take = remaining.min(CHUNK_CAP);
+            out.extend_from_slice(&chunk.items[..take]);
+            remaining -= take;
+            c = chunk.next;
+        }
+        out
+    }
+
+    /// Moves every element of `src` onto the end of `dst`, leaving `src`
+    /// empty. O(1) when `dst` is empty (handle swap), O(|src|) otherwise.
+    pub fn append(&self, dst: &mut List, src: &mut List) {
+        if src.is_empty() {
+            return;
+        }
+        if dst.is_empty() {
+            *dst = std::mem::take(src);
+            return;
+        }
+        let mut g = self.inner.borrow_mut();
+        // Walk src's chain copying into dst, then recycle src's chunks.
+        let mut c = src.head;
+        let mut remaining = src.len();
+        while c != NIL {
+            let take = remaining.min(CHUNK_CAP);
+            for i in 0..take {
+                let v = g.chunks[c as usize].items[i];
+                g.push(dst, v);
+            }
+            remaining -= take;
+            c = g.chunks[c as usize].next;
+        }
+        g.clear(src);
+    }
+
+    /// Number of chunks ever allocated (capacity diagnostics for tests).
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.inner.borrow().chunks.len()
+    }
+}
+
+impl<T: Copy> Inner<T> {
+    fn alloc(&mut self) -> u32 {
+        if self.free != NIL {
+            let c = self.free;
+            self.free = self.chunks[c as usize].next;
+            self.chunks[c as usize].next = NIL;
+            c
+        } else {
+            assert!(self.chunks.len() < NIL as usize, "arena chunk overflow");
+            self.chunks.push(Chunk {
+                items: [self.fill; CHUNK_CAP],
+                next: NIL,
+            });
+            (self.chunks.len() - 1) as u32
+        }
+    }
+
+    fn push(&mut self, list: &mut List, v: T) {
+        let slot = list.len() % CHUNK_CAP;
+        if slot == 0 {
+            // Tail chunk full (or list empty): link a fresh chunk.
+            let c = self.alloc();
+            if list.head == NIL {
+                list.head = c;
+            } else {
+                self.chunks[list.tail as usize].next = c;
+            }
+            list.tail = c;
+        }
+        self.chunks[list.tail as usize].items[slot] = v;
+        list.len += 1;
+    }
+
+    fn clear(&mut self, list: &mut List) {
+        if list.head != NIL {
+            self.chunks[list.tail as usize].next = self.free;
+            self.free = list.head;
+        }
+        *list = List::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back_across_chunk_boundaries() {
+        let arena = Arena::new(0u64);
+        let mut l = List::default();
+        for v in 0..20u64 {
+            arena.push(&mut l, v);
+        }
+        assert_eq!(l.len(), 20);
+        assert_eq!(arena.first(&l), Some(0));
+        assert_eq!(arena.to_vec(&l), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_recycles_chunks() {
+        let arena = Arena::new(0u64);
+        let mut l = List::default();
+        for v in 0..20u64 {
+            arena.push(&mut l, v);
+        }
+        let chunks = arena.chunk_count();
+        arena.clear(&mut l);
+        assert!(l.is_empty());
+        // Refilling reuses the freed chain: no new chunk allocations.
+        for v in 0..20u64 {
+            arena.push(&mut l, v);
+        }
+        assert_eq!(arena.chunk_count(), chunks, "freelist reuse");
+        assert_eq!(arena.to_vec(&l), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn append_moves_and_empties_source() {
+        let arena = Arena::new(0u64);
+        let mut a = List::default();
+        let mut b = List::default();
+        arena.extend(&mut a, 0..10);
+        arena.extend(&mut b, 10..25);
+        arena.append(&mut a, &mut b);
+        assert!(b.is_empty());
+        assert_eq!(arena.to_vec(&a), (0..25).collect::<Vec<_>>());
+        // Appending into an empty list is a handle swap.
+        let mut c = List::default();
+        arena.append(&mut c, &mut a);
+        assert!(a.is_empty());
+        assert_eq!(c.len(), 25);
+    }
+
+    #[test]
+    fn take_detaches_in_place() {
+        let arena = Arena::new(0u64);
+        let mut l = List::default();
+        arena.extend(&mut l, 0..5);
+        let moved = std::mem::take(&mut l);
+        assert!(l.is_empty());
+        assert_eq!(arena.to_vec(&moved), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn many_interleaved_lists_stay_disjoint() {
+        let arena = Arena::new(0u32);
+        let mut lists: Vec<List> = (0..32).map(|_| List::default()).collect();
+        for round in 0..10u32 {
+            for (i, l) in lists.iter_mut().enumerate() {
+                arena.push(l, round * 100 + i as u32);
+            }
+        }
+        for (i, l) in lists.iter().enumerate() {
+            let want: Vec<u32> = (0..10).map(|r| r * 100 + i as u32).collect();
+            assert_eq!(arena.to_vec(l), want, "list {i}");
+        }
+    }
+}

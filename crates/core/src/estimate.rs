@@ -49,6 +49,7 @@ pub struct SuccessTest {
 pub fn broadcast_success_test(sim: &mut ClusterSim) -> SuccessTest {
     let id_bits = sim.id_bits;
     let rumor_bits = sim.rumor_bits;
+    let arena = &sim.arena;
     let r0 = sim.net.metrics().rounds;
 
     // Round 1: probe. Uses the recruit inbox as the "saw uninformed" flag
@@ -56,7 +57,7 @@ pub fn broadcast_success_test(sim: &mut ClusterSim) -> SuccessTest {
     // the flag is exactly Coin(false) replies.
     for s in sim.net.states_mut() {
         s.response = Some(Msg::new(MsgKind::Coin(s.informed), id_bits, rumor_bits));
-        s.inbox.clear();
+        arena.clear(&mut s.inbox);
     }
     sim.net.round(
         |ctx, _rng| {
@@ -71,7 +72,7 @@ pub fn broadcast_success_test(sim: &mut ClusterSim) -> SuccessTest {
             if let Delivery::PullReply { msg, .. } = d {
                 if msg.kind == MsgKind::Coin(false) {
                     // Mark "saw an uninformed node" with a sentinel entry.
-                    s.inbox.push(s.id);
+                    arena.push(&mut s.inbox, s.id);
                 }
             }
         },
@@ -94,7 +95,7 @@ pub fn broadcast_success_test(sim: &mut ClusterSim) -> SuccessTest {
         |s, d| {
             if let Delivery::Push { msg, .. } = d {
                 if msg.kind == MsgKind::Coin(false) {
-                    s.inbox.push(s.id);
+                    arena.push(&mut s.inbox, s.id);
                 }
             }
         },
@@ -124,9 +125,9 @@ pub fn broadcast_success_test(sim: &mut ClusterSim) -> SuccessTest {
         |s, d| {
             if let Delivery::PullReply { msg, .. } = d {
                 if let MsgKind::Coin(ok) = msg.kind {
-                    s.inbox.clear();
+                    arena.clear(&mut s.inbox);
                     if !ok {
-                        s.inbox.push(s.id);
+                        arena.push(&mut s.inbox, s.id);
                     }
                 }
             }
@@ -142,7 +143,7 @@ pub fn broadcast_success_test(sim: &mut ClusterSim) -> SuccessTest {
         .map(|idx| sim.net.states()[idx.as_usize()].inbox.is_empty())
         .unwrap_or(false);
     for s in sim.net.states_mut() {
-        s.inbox.clear();
+        arena.clear(&mut s.inbox);
         s.response = None;
     }
     SuccessTest {

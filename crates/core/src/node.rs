@@ -2,6 +2,7 @@
 
 use phonecall::NodeId;
 
+use crate::arena::{Arena, List};
 use crate::follow::Follow;
 use crate::msg::Msg;
 
@@ -29,12 +30,15 @@ pub struct ClusterNode {
     pub informed_at: Option<u32>,
 
     /// Recruit/candidate IDs received via random pushes this iteration.
-    pub inbox: Vec<NodeId>,
+    /// A 12-byte handle into the [`ClusterSim`](crate::sim::ClusterSim)'s
+    /// shared ID arena, not a per-node `Vec`.
+    pub inbox: List,
     /// Leader: member IDs collected in the latest collect round (includes
-    /// the leader itself).
-    pub members: Vec<NodeId>,
+    /// the leader itself). Arena-backed, like `inbox`.
+    pub members: List,
     /// Leader: merge candidates relayed by members this iteration.
-    pub candidates: Vec<NodeId>,
+    /// Arena-backed, like `inbox`.
+    pub candidates: List,
     /// Cluster advertisements `(leader, size)` gathered during
     /// consolidation pulls.
     pub ads: Vec<(NodeId, u64)>,
@@ -62,9 +66,9 @@ impl ClusterNode {
             active: false,
             informed: false,
             informed_at: None,
-            inbox: Vec::new(),
-            members: Vec::new(),
-            candidates: Vec::new(),
+            inbox: List::default(),
+            members: List::default(),
+            candidates: List::default(),
             ads: Vec::new(),
             needs_flatten: false,
             response: None,
@@ -104,11 +108,12 @@ impl ClusterNode {
         self.prev_size = 1;
     }
 
-    /// Clears all per-primitive scratch buffers.
-    pub fn clear_scratch(&mut self) {
-        self.inbox.clear();
-        self.members.clear();
-        self.candidates.clear();
+    /// Clears all per-primitive scratch buffers, returning the
+    /// arena-backed lists' chunks to `arena`'s freelist.
+    pub fn clear_scratch(&mut self, arena: &Arena<NodeId>) {
+        arena.clear(&mut self.inbox);
+        arena.clear(&mut self.members);
+        arena.clear(&mut self.candidates);
         self.ads.clear();
         self.response = None;
     }
@@ -117,6 +122,28 @@ impl ClusterNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scratch_lists_are_handles_not_vecs() {
+        // The million-node budget: the three scratch lists are 12-byte
+        // arena handles, not 24-byte `Vec` headers that each own a heap
+        // block. A regression back to owned containers (or a grown
+        // handle) shows up here before it shows up as 2^20 extra
+        // allocations in a profile.
+        assert_eq!(std::mem::size_of::<List>(), 12);
+        // 152 = the current layout: the arena swap bought 36 bytes of
+        // header (3×24-byte `Vec` → 3×12-byte `List`) plus the three
+        // per-node heap blocks those Vecs owned. The remaining bulk is
+        // the inline `Option<Msg>` response — boxing it would shrink the
+        // struct but cost one allocation per prepared response, which
+        // the steady-state-zero contract forbids.
+        assert!(
+            std::mem::size_of::<ClusterNode>() <= 152,
+            "ClusterNode grew to {} bytes — the n=2^20 hot loop streams \
+             this struct; keep cold data behind the arena, not inline",
+            std::mem::size_of::<ClusterNode>()
+        );
+    }
 
     #[test]
     fn fresh_node_is_unclustered() {
@@ -148,12 +175,13 @@ mod tests {
 
     #[test]
     fn clear_scratch_resets_buffers() {
+        let arena = Arena::new(NodeId::from_raw(0));
         let mut n = ClusterNode::new(NodeId::from_raw(1));
-        n.inbox.push(NodeId::from_raw(2));
-        n.members.push(NodeId::from_raw(3));
-        n.candidates.push(NodeId::from_raw(4));
+        arena.push(&mut n.inbox, NodeId::from_raw(2));
+        arena.push(&mut n.members, NodeId::from_raw(3));
+        arena.push(&mut n.candidates, NodeId::from_raw(4));
         n.ads.push((NodeId::from_raw(5), 3));
-        n.clear_scratch();
+        n.clear_scratch(&arena);
         assert!(n.inbox.is_empty() && n.members.is_empty() && n.candidates.is_empty());
         assert!(n.ads.is_empty());
         assert!(n.response.is_none());

@@ -22,11 +22,12 @@ pub struct GrowControl {
 /// follower (of a cluster selected by `who`) pushes its ID to its leader;
 /// leaders collect the membership (including themselves). One round.
 pub fn collect_members(sim: &mut ClusterSim, who: Who) {
+    let arena = &sim.arena;
     // Leaders reset their member list and count themselves.
     for s in sim.net.states_mut() {
         if s.is_leader() && who.selects(true, s.active) {
-            s.members.clear();
-            s.members.push(s.id);
+            arena.clear(&mut s.members);
+            arena.push(&mut s.members, s.id);
         }
     }
     let id_bits = sim.id_bits;
@@ -47,7 +48,7 @@ pub fn collect_members(sim: &mut ClusterSim, who: Who) {
         |s, d| {
             if let Delivery::Push { msg, .. } = d {
                 if let MsgKind::MemberId(m) = msg.kind {
-                    s.members.push(m);
+                    arena.push(&mut s.members, m);
                 }
             }
         },

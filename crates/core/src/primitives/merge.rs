@@ -58,6 +58,7 @@ pub struct MergeOpts {
 pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
     let id_bits = sim.id_bits;
     let rumor_bits = sim.rumor_bits;
+    let arena = &sim.arena;
 
     // Round 1: pushing clusters PUSH their cluster ID to random nodes.
     sim.net.round(
@@ -77,7 +78,7 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
         |s, d| {
             if let Delivery::Push { msg, .. } = d {
                 if let MsgKind::Recruit(cid) = msg.kind {
-                    s.inbox.push(cid);
+                    arena.push(&mut s.inbox, cid);
                 }
             }
         },
@@ -90,8 +91,8 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
     };
     for s in sim.net.states_mut() {
         if s.is_leader() && eligible(s) {
-            let own_inbox = std::mem::take(&mut s.inbox);
-            s.candidates.extend(own_inbox);
+            let mut own_inbox = std::mem::take(&mut s.inbox);
+            arena.append(&mut s.candidates, &mut own_inbox);
         }
     }
     sim.net.round(
@@ -100,7 +101,11 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
             if s.is_follower() && eligible(s) && !s.inbox.is_empty() {
                 Action::Push {
                     to: Target::Direct(s.leader().expect("follower has leader")),
-                    msg: Msg::new(MsgKind::Candidates(s.inbox.clone()), id_bits, rumor_bits),
+                    msg: Msg::new(
+                        MsgKind::Candidates(arena.to_vec(&s.inbox)),
+                        id_bits,
+                        rumor_bits,
+                    ),
                 }
             } else {
                 Action::Idle
@@ -110,13 +115,13 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
         |s, d| {
             if let Delivery::Push { msg, .. } = d {
                 if let MsgKind::Candidates(v) = msg.kind {
-                    s.candidates.extend(v);
+                    arena.extend(&mut s.candidates, v);
                 }
             }
         },
     );
     for s in sim.net.states_mut() {
-        s.inbox.clear();
+        arena.clear(&mut s.inbox);
     }
 
     // Round 3: merge-eligible leaders decide and everyone pulls the verdict.
@@ -130,10 +135,9 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
         let mut target = None;
         if eligible(s) && !s.candidates.is_empty() {
             let own = s.id;
-            let mut cands: Vec<_> = s
-                .candidates
-                .iter()
-                .copied()
+            let mut cands: Vec<_> = arena
+                .to_vec(&s.candidates)
+                .into_iter()
                 .filter(|c| *c != own && (!opts.smaller_only || *c < own))
                 .collect();
             match opts.rule {
@@ -160,7 +164,7 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
                 s.active = true;
             }
         }
-        s.candidates.clear();
+        arena.clear(&mut s.candidates);
     }
     let mark_active = opts.mark_merged_active;
     sim.net.round(
@@ -188,8 +192,8 @@ pub fn merge_iteration(sim: &mut ClusterSim, opts: MergeOpts) {
         },
     );
     for s in sim.net.states_mut() {
-        s.candidates.clear();
-        s.inbox.clear();
+        arena.clear(&mut s.candidates);
+        arena.clear(&mut s.inbox);
     }
     clear_responses(sim);
 }

@@ -16,6 +16,7 @@ use super::{collect_members, size_round, GrowControl, Who};
 pub fn grow_push_round(sim: &mut ClusterSim, pushers: Who) -> usize {
     let id_bits = sim.id_bits;
     let rumor_bits = sim.rumor_bits;
+    let arena = &sim.arena;
     sim.net.round(
         |ctx, _rng| {
             let s = ctx.state;
@@ -33,7 +34,7 @@ pub fn grow_push_round(sim: &mut ClusterSim, pushers: Who) -> usize {
         |s, d| {
             if let Delivery::Push { msg, .. } = d {
                 if let MsgKind::Recruit(cid) = msg.kind {
-                    s.inbox.push(cid);
+                    arena.push(&mut s.inbox, cid);
                 }
             }
         },
@@ -42,13 +43,13 @@ pub fn grow_push_round(sim: &mut ClusterSim, pushers: Who) -> usize {
     let mut joined = 0;
     for s in sim.net.states_mut() {
         if !s.is_clustered() {
-            if let Some(cid) = s.inbox.first().copied() {
+            if let Some(cid) = arena.first(&s.inbox) {
                 s.follow = Follow::Of(cid);
                 s.active = true;
                 joined += 1;
             }
         }
-        s.inbox.clear();
+        arena.clear(&mut s.inbox);
     }
     joined
 }
@@ -78,6 +79,7 @@ pub fn grow_control_iteration(
     // Size verdicts + inline resize announcements.
     let id_bits = sim.id_bits;
     let rumor_bits = sim.rumor_bits;
+    let sim_arena = &sim.arena;
     let mut deactivated = 0;
     for s in sim.net.states_mut() {
         if !(s.is_leader() && s.active) {
@@ -103,7 +105,7 @@ pub fn grow_control_iteration(
             // Oversized but still growing: split into ⌊size/cap⌋ groups
             // (inline ClusterResize(cap); same grouping rule as
             // `primitives::resize`).
-            let mut sorted = s.members.clone();
+            let mut sorted = sim_arena.to_vec(&s.members);
             sorted.sort_unstable();
             let k = (size / cap).max(1) as usize;
             let base = sorted.len() / k;

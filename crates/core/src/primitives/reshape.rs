@@ -75,6 +75,7 @@ pub fn resize(sim: &mut ClusterSim, s: u64, who: Who) {
     collect_members(sim, who);
     let id_bits = sim.id_bits;
     let rumor_bits = sim.rumor_bits;
+    let arena = &sim.arena;
     for st in sim.net.states_mut() {
         if !(st.is_leader() && who.selects(true, st.active)) {
             continue;
@@ -84,7 +85,7 @@ pub fn resize(sim: &mut ClusterSim, s: u64, who: Who) {
         let (ids, piece) = if k == 1 {
             (vec![st.id], size)
         } else {
-            let mut sorted = st.members.clone();
+            let mut sorted = arena.to_vec(&st.members);
             sorted.sort_unstable();
             let k = k as usize;
             let base = sorted.len() / k;

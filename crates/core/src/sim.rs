@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use phonecall::{FailurePlan, Network, NodeId, NodeIdx};
 use rand::rngs::SmallRng;
 
+use crate::arena::Arena;
 use crate::config::CommonConfig;
 use crate::msg::{Msg, MsgKind};
 use crate::node::ClusterNode;
@@ -23,6 +24,11 @@ use crate::report::{ClusteringStats, PhaseReport};
 pub struct ClusterSim {
     /// The underlying phone-call network.
     pub net: Network<ClusterNode>,
+    /// Shared backing store for every node's `inbox`/`members`/
+    /// `candidates` list (see [`crate::arena`]). Primitives capture
+    /// `&sim.arena` alongside `&mut sim.net` (disjoint fields) so the
+    /// simulation closures can grow node lists without per-node `Vec`s.
+    pub arena: Arena<NodeId>,
     /// Width of a node ID on the wire: `2·⌈log₂ n⌉` bits (polynomial ID
     /// space).
     pub id_bits: u64,
@@ -49,6 +55,7 @@ impl ClusterSim {
         let net = Network::with_state_fn(n, common.seed, |_idx, id| ClusterNode::new(id));
         let mut sim = ClusterSim {
             net,
+            arena: Arena::new(NodeId::from_raw(0)),
             id_bits: phonecall::id_bits(n),
             rumor_bits: common.rumor_bits,
             rng: phonecall::rng_from_seed(phonecall::derive_seed(common.seed, 3)),
@@ -205,8 +212,9 @@ impl ClusterSim {
 
     /// Clears every node's scratch buffers (between phases).
     pub fn clear_all_scratch(&mut self) {
+        let arena = &self.arena;
         for s in self.net.states_mut() {
-            s.clear_scratch();
+            s.clear_scratch(arena);
         }
     }
 

@@ -1,0 +1,213 @@
+//! `u64`-word bitsets for per-node flags.
+//!
+//! At `n = 2^20` a `Vec<bool>` flag column is a megabyte the round loop
+//! streams through once per query; packed into `u64` words the same
+//! column is 16 KiB, counts become `popcount`s, and "which nodes were
+//! touched this round" queries skip 64 nodes per zero word. The engine
+//! keeps its alive mask and contacted-this-round mask as [`BitSet`]s
+//! ([`crate::Network`]), and the dynamic adversary tracks its crashed
+//! and protected sets the same way ([`crate::churn`]).
+//!
+//! Semantics mirror a `Vec<bool>` of fixed length exactly — the
+//! model-based proptest in `tests/layout_equivalence.rs` drives a
+//! `BitSet` and a `Vec<bool>` through random op sequences and asserts
+//! bit-for-bit agreement — so swapping the representation cannot move a
+//! golden digest.
+
+/// A fixed-length bitset over `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A bitset of `len` bits, all clear.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A bitset of `len` bits, all set.
+    #[must_use]
+    pub fn new_set(len: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        s.mask_tail();
+        s
+    }
+
+    /// Zeroes the unused high bits of the last word so popcounts and
+    /// word scans never see phantom entries.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` (same contract as slice indexing).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Sets bit `i` to `value`.
+    #[inline]
+    pub fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets every bit.
+    pub fn set_all(&mut self) {
+        self.words.fill(!0);
+        self.mask_tail();
+    }
+
+    /// Number of set bits (a popcount per word — `len/64` operations).
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the indices of set bits in increasing order, skipping 64
+    /// bits per zero word.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// The backing words (tail bits beyond `len` are always zero).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_are_all_clear_or_all_set() {
+        let clear = BitSet::new(130);
+        assert_eq!(clear.len(), 130);
+        assert_eq!(clear.count_ones(), 0);
+        assert!((0..130).all(|i| !clear.get(i)));
+
+        let set = BitSet::new_set(130);
+        assert_eq!(set.count_ones(), 130);
+        assert!((0..130).all(|i| set.get(i)));
+        // Tail bits beyond len stay zero so popcount is exact.
+        assert_eq!(set.words().last().copied().unwrap() >> 2, 0);
+    }
+
+    #[test]
+    fn set_clear_assign_roundtrip() {
+        let mut s = BitSet::new(100);
+        s.set(0);
+        s.set(63);
+        s.set(64);
+        s.set(99);
+        assert_eq!(s.count_ones(), 4);
+        assert!(s.get(63) && s.get(64));
+        s.clear(63);
+        assert!(!s.get(63));
+        s.assign(63, true);
+        s.assign(0, false);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![63, 64, 99]);
+    }
+
+    #[test]
+    fn clear_all_and_set_all() {
+        let mut s = BitSet::new(65);
+        s.set(64);
+        s.clear_all();
+        assert_eq!(s.count_ones(), 0);
+        s.set_all();
+        assert_eq!(s.count_ones(), 65);
+        assert_eq!(s.iter_ones().count(), 65);
+    }
+
+    #[test]
+    fn iter_ones_matches_gets() {
+        let mut s = BitSet::new(200);
+        for i in (0..200).step_by(7) {
+            s.set(i);
+        }
+        let from_iter: Vec<usize> = s.iter_ones().collect();
+        let from_get: Vec<usize> = (0..200).filter(|&i| s.get(i)).collect();
+        assert_eq!(from_iter, from_get);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let s = BitSet::new(64);
+        let _ = s.get(64);
+    }
+
+    #[test]
+    fn exact_word_boundary_has_no_tail() {
+        let s = BitSet::new_set(128);
+        assert_eq!(s.count_ones(), 128);
+        assert_eq!(s.words().len(), 2);
+    }
+}

@@ -40,6 +40,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitset::BitSet;
 use crate::rng::{derive_seed, rng_from_seed};
 use rand::Rng;
 
@@ -167,10 +168,10 @@ pub struct AdversarySchedule {
     cfg: ChurnConfig,
     seed: u64,
     bursting: bool,
-    /// Dense mask: nodes currently crashed *by this schedule*.
-    crashed_by_us: Vec<bool>,
-    /// Dense mask of [`ChurnConfig::protected`].
-    protected: Vec<bool>,
+    /// Packed mask: nodes currently crashed *by this schedule*.
+    crashed_by_us: BitSet,
+    /// Packed mask of [`ChurnConfig::protected`].
+    protected: BitSet,
     crashed_count: usize,
     max_crashed: usize,
 }
@@ -187,20 +188,20 @@ impl AdversarySchedule {
         if let Err(e) = cfg.validate() {
             panic!("invalid churn schedule: {e}");
         }
-        let mut protected = vec![false; n];
+        let mut protected = BitSet::new(n);
         for &p in &cfg.protected {
             assert!(
                 (p as usize) < n,
                 "churn knob \"protected\" references node {p} outside 0..{n}"
             );
-            protected[p as usize] = true;
+            protected.set(p as usize);
         }
         let max_crashed = (cfg.max_crashed_frac * n as f64).floor() as usize;
         AdversarySchedule {
             cfg,
             seed,
             bursting: false,
-            crashed_by_us: vec![false; n],
+            crashed_by_us: BitSet::new(n),
             protected,
             crashed_count: 0,
             max_crashed,
@@ -246,7 +247,7 @@ impl AdversarySchedule {
     /// # Panics
     ///
     /// Panics if `alive` is not the length the schedule was built for.
-    pub fn advance(&mut self, round: u64, alive: &mut [bool]) -> ChurnRound {
+    pub fn advance(&mut self, round: u64, alive: &mut BitSet) -> ChurnRound {
         let n = self.crashed_by_us.len();
         assert_eq!(alive.len(), n, "alive mask length changed under churn");
         let mut rng = rng_from_seed(derive_seed(self.seed, round));
@@ -263,14 +264,21 @@ impl AdversarySchedule {
         }
 
         // Recoveries (every round: an ended outage drains naturally).
+        // Word-streams the crashed set — one coin per crashed node, in
+        // index order, exactly as the dense-mask engine drew them.
         let mut recovered = 0u32;
         if cfg.recovery_rate > 0.0 && self.crashed_count > 0 {
-            for (i, down) in self.crashed_by_us.iter_mut().enumerate() {
-                if *down && rng.gen_bool(cfg.recovery_rate) {
-                    *down = false;
-                    alive[i] = true;
-                    self.crashed_count -= 1;
-                    recovered += 1;
+            for wi in 0..self.crashed_by_us.words().len() {
+                let mut w = self.crashed_by_us.words()[wi];
+                while w != 0 {
+                    let i = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    if rng.gen_bool(cfg.recovery_rate) {
+                        self.crashed_by_us.clear(i);
+                        alive.set(i);
+                        self.crashed_count -= 1;
+                        recovered += 1;
+                    }
                 }
             }
         }
@@ -284,9 +292,9 @@ impl AdversarySchedule {
                 if crashed >= cfg.batch_size || self.crashed_count >= self.max_crashed {
                     break;
                 }
-                if alive[i] && !self.protected[i] {
-                    alive[i] = false;
-                    self.crashed_by_us[i] = true;
+                if alive.get(i) && !self.protected.get(i) {
+                    alive.clear(i);
+                    self.crashed_by_us.set(i);
                     self.crashed_count += 1;
                     crashed += 1;
                 }
@@ -346,7 +354,7 @@ mod tests {
     fn schedule_is_deterministic_per_seed() {
         let run = |seed: u64| {
             let mut sched = AdversarySchedule::new(crashy(), 64, seed);
-            let mut alive = vec![true; 64];
+            let mut alive = BitSet::new_set(64);
             let mut history = Vec::new();
             for round in 0..32 {
                 history.push(sched.advance(round, &mut alive));
@@ -360,10 +368,10 @@ mod tests {
     #[test]
     fn crashes_and_recoveries_move_the_alive_mask() {
         let mut sched = AdversarySchedule::new(crashy(), 32, 3);
-        let mut alive = vec![true; 32];
+        let mut alive = BitSet::new_set(32);
         let ev = sched.advance(0, &mut alive);
         assert_eq!(ev.crashed, 4, "crash_rate 1.0 fires a full batch");
-        assert_eq!(alive.iter().filter(|a| !**a).count(), 4);
+        assert_eq!(alive.len() - alive.count_ones(), 4);
         assert_eq!(sched.crashed_count(), 4);
         // Recovery at rate 0.5 eventually brings everyone back once the
         // budget stops new crashes... run until the counts settle.
@@ -384,13 +392,13 @@ mod tests {
             ..ChurnConfig::default()
         };
         let mut sched = AdversarySchedule::new(cfg, 16, 1);
-        let mut alive = vec![true; 16];
+        let mut alive = BitSet::new_set(16);
         for round in 0..8 {
             sched.advance(round, &mut alive);
         }
-        assert!(alive[0] && alive[7], "protected nodes stay alive");
+        assert!(alive.get(0) && alive.get(7), "protected nodes stay alive");
         assert_eq!(
-            alive.iter().filter(|a| !**a).count(),
+            alive.len() - alive.count_ones(),
             14,
             "everyone else is fair game"
         );
@@ -405,7 +413,7 @@ mod tests {
             ..ChurnConfig::default()
         };
         let mut sched = AdversarySchedule::new(cfg, 100, 2);
-        let mut alive = vec![true; 100];
+        let mut alive = BitSet::new_set(100);
         for round in 0..10 {
             sched.advance(round, &mut alive);
         }
@@ -423,7 +431,7 @@ mod tests {
             ..ChurnConfig::default()
         };
         let mut sched = AdversarySchedule::new(cfg, 64, 5);
-        let mut alive = vec![true; 64];
+        let mut alive = BitSet::new_set(64);
         assert_eq!(sched.advance(0, &mut alive).crashed, 0, "before window");
         assert_eq!(sched.advance(1, &mut alive).crashed, 0);
         let mut total_crashed = 0;
@@ -441,7 +449,7 @@ mod tests {
         }
         assert_eq!(total_crashed, 16);
         assert_eq!(total_recovered, 16, "outage drains after the window");
-        assert!(alive.iter().all(|a| *a));
+        assert_eq!(alive.count_ones(), alive.len());
     }
 
     #[test]
@@ -454,7 +462,7 @@ mod tests {
         };
         assert!(cfg.is_active());
         let mut sched = AdversarySchedule::new(cfg, 8, 7);
-        let mut alive = vec![true; 8];
+        let mut alive = BitSet::new_set(8);
         let mut bad_rounds = 0;
         for round in 0..200 {
             let ev = sched.advance(round, &mut alive);
@@ -470,7 +478,11 @@ mod tests {
             (20..180).contains(&bad_rounds),
             "chain mixes: {bad_rounds}/200 bad"
         );
-        assert!(alive.iter().all(|a| *a), "pure burst config crashes nobody");
+        assert_eq!(
+            alive.count_ones(),
+            alive.len(),
+            "pure burst config crashes nobody"
+        );
     }
 
     #[test]

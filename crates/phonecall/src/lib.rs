@@ -96,6 +96,7 @@
 #![warn(missing_debug_implementations)]
 
 mod action;
+mod bitset;
 mod churn;
 mod error;
 mod failure;
@@ -108,6 +109,7 @@ mod trace;
 mod wire;
 
 pub use action::{Action, Delivery, Target};
+pub use bitset::BitSet;
 pub use churn::{AdversarySchedule, ChurnConfig, ChurnRound};
 pub use error::PhoneCallError;
 pub use failure::FailurePlan;

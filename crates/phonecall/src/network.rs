@@ -25,6 +25,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::action::{Action, Delivery, Target};
+use crate::bitset::BitSet;
 use crate::churn::{AdversarySchedule, ChurnConfig};
 use crate::failure::FailurePlan;
 use crate::id::{IdSpace, NodeId, NodeIdx};
@@ -55,7 +56,10 @@ pub struct NodeCtx<'a, S> {
 pub struct Network<S> {
     ids: IdSpace,
     states: Vec<S>,
-    alive: Vec<bool>,
+    /// Packed alive mask (one bit per node); the count is maintained
+    /// incrementally so [`Self::alive_count`] is O(1).
+    alive: BitSet,
+    alive_count: usize,
     round: u64,
     rng: SmallRng,
     metrics: Metrics,
@@ -73,6 +77,11 @@ pub struct Network<S> {
     topo: Option<TopologyView>,
     // Scratch buffers reused across rounds to avoid per-round allocation.
     fan_in: Vec<u32>,
+    /// Nodes contacted this round (initiations + incoming deliveries):
+    /// exactly the nodes whose `fan_in` entry is nonzero. Lets the next
+    /// round zero `fan_in` 64 nodes at a time and the fan-in maximum
+    /// skip untouched regions instead of scanning all `n` counters.
+    touched: BitSet,
     scratch: ScratchCell,
 }
 
@@ -87,33 +96,76 @@ struct TopologyView {
     rng: SmallRng,
 }
 
-/// Per-round scratch for one message type `M`: the resolved pushes and
-/// pulls of the current round plus the pull responses, all reused across
-/// rounds so the steady-state round loop performs no allocation.
+/// Per-round scratch for one message type `M`, laid out struct-of-arrays:
+/// the resolved push and pull contacts of the current round live in
+/// parallel `u32` index columns (streamed through twice per round —
+/// resolve, then apply), payloads and responses in their own columns.
+/// Everything is reused across rounds so the steady-state round loop
+/// performs no allocation.
 struct Scratch<M> {
-    /// Resolved pushes: `(src, dst, payload)`. Payloads are *moved* to the
+    /// Resolved push sources, one `u32` per push.
+    push_src: Vec<u32>,
+    /// Resolved push destinations, parallel to `push_src`.
+    push_dst: Vec<u32>,
+    /// Push payloads, parallel to `push_src`. Payloads are *moved* to the
     /// recipient on delivery — a push is delivered at most once, so the
     /// engine never clones a message.
-    pushes: Vec<(NodeIdx, NodeIdx, M)>,
-    /// Resolved pulls: `(src, dst)`.
-    pulls: Vec<(NodeIdx, NodeIdx)>,
-    /// Pull responses, parallel to `pulls`.
+    push_msg: Vec<M>,
+    /// Per-push loss verdicts for the round (empty when the loss knob is
+    /// zero — no draws at all, keeping the RNG stream identical to the
+    /// loss-free engine).
+    push_lost: Vec<bool>,
+    /// Resolved pull sources, one `u32` per pull.
+    pull_src: Vec<u32>,
+    /// Resolved pull destinations, parallel to `pull_src`.
+    pull_dst: Vec<u32>,
+    /// Pull responses, parallel to `pull_src`.
     responses: Vec<Option<M>>,
 }
 
 impl<M> Scratch<M> {
     fn new() -> Self {
         Scratch {
-            pushes: Vec::new(),
-            pulls: Vec::new(),
+            push_src: Vec::new(),
+            push_dst: Vec::new(),
+            push_msg: Vec::new(),
+            push_lost: Vec::new(),
+            pull_src: Vec::new(),
+            pull_dst: Vec::new(),
             responses: Vec::new(),
         }
     }
 
     fn clear(&mut self) {
-        self.pushes.clear();
-        self.pulls.clear();
+        self.push_src.clear();
+        self.push_dst.clear();
+        self.push_msg.clear();
+        self.push_lost.clear();
+        self.pull_src.clear();
+        self.pull_dst.clear();
         self.responses.clear();
+    }
+
+    /// Pre-sizes the cheap index columns to `n` contacts so a full-
+    /// participation round resolves without a single mid-round
+    /// reallocation. The payload/response columns grow amortized to
+    /// their steady-state high-water mark instead — pre-sizing them to
+    /// `n` would pin `n · size_of::<M>()` bytes even for algorithms
+    /// where only a few nodes speak per round.
+    fn presize(&mut self, n: usize) {
+        for col in [
+            &mut self.push_src,
+            &mut self.push_dst,
+            &mut self.pull_src,
+            &mut self.pull_dst,
+        ] {
+            if col.capacity() < n {
+                col.reserve_exact(n - col.len());
+            }
+        }
+        if self.push_lost.capacity() < n {
+            self.push_lost.reserve_exact(n - self.push_lost.len());
+        }
     }
 }
 
@@ -177,23 +229,8 @@ impl<S> Network<S> {
     /// Panics if `states` is empty or longer than `u32::MAX`.
     #[must_use]
     pub fn with_states(seed: u64, states: Vec<S>) -> Self {
-        let n = states.len();
-        let ids = IdSpace::new(n, derive_seed(seed, 1));
-        Network {
-            ids,
-            states,
-            alive: vec![true; n],
-            round: 0,
-            rng: rng_from_seed(derive_seed(seed, 2)),
-            metrics: Metrics::default(),
-            header_bits: header_bits(n),
-            trace: Trace::disabled(),
-            loss: 0.0,
-            churn: None,
-            topo: None,
-            fan_in: vec![0; n],
-            scratch: ScratchCell::default(),
-        }
+        let ids = IdSpace::new(states.len(), derive_seed(seed, 1));
+        Self::assemble(ids, states, seed)
     }
 
     /// Creates a network with per-node states built from each node's index
@@ -207,10 +244,16 @@ impl<S> Network<S> {
                 f(idx, ids.id_of(idx))
             })
             .collect();
+        Self::assemble(ids, states, seed)
+    }
+
+    fn assemble(ids: IdSpace, states: Vec<S>, seed: u64) -> Self {
+        let n = states.len();
         Network {
             ids,
             states,
-            alive: vec![true; n],
+            alive: BitSet::new_set(n),
+            alive_count: n,
             round: 0,
             rng: rng_from_seed(derive_seed(seed, 2)),
             metrics: Metrics::default(),
@@ -220,6 +263,7 @@ impl<S> Network<S> {
             churn: None,
             topo: None,
             fan_in: vec![0; n],
+            touched: BitSet::new(n),
             scratch: ScratchCell::default(),
         }
     }
@@ -361,13 +405,22 @@ impl<S> Network<S> {
     /// Whether node `idx` is alive.
     #[must_use]
     pub fn is_alive(&self, idx: NodeIdx) -> bool {
-        self.alive[idx.as_usize()]
+        self.alive.get(idx.as_usize())
     }
 
-    /// Number of alive nodes.
+    /// Number of alive nodes. O(1): the count is maintained incrementally
+    /// as failures, crashes and recoveries move the alive mask (and
+    /// cross-checked against the mask's popcount in debug builds).
     #[must_use]
     pub fn alive_count(&self) -> usize {
-        self.alive.iter().filter(|a| **a).count()
+        debug_assert_eq!(self.alive_count, self.alive.count_ones());
+        self.alive_count
+    }
+
+    /// The packed alive mask (one bit per node).
+    #[must_use]
+    pub fn alive_mask(&self) -> &BitSet {
+        &self.alive
     }
 
     /// Applies a failure plan: the named nodes die immediately and forever.
@@ -382,7 +435,10 @@ impl<S> Network<S> {
                 "failure plan references node {idx} outside 0..{}",
                 self.len()
             );
-            self.alive[idx.as_usize()] = false;
+            if self.alive.get(idx.as_usize()) {
+                self.alive.clear(idx.as_usize());
+                self.alive_count -= 1;
+            }
         }
     }
 
@@ -399,10 +455,14 @@ impl<S> Network<S> {
 
     /// Samples a uniformly random node other than `src` (alive or dead —
     /// the caller cannot know liveness, matching the model).
-    fn sample_other(rng: &mut SmallRng, n: usize, src: NodeIdx) -> NodeIdx {
+    ///
+    /// Works entirely in the `u32` index domain — node counts fit `u32`
+    /// by construction ([`IdSpace::new`] asserts it), so no per-call
+    /// `usize` round-trip re-derives the bound.
+    fn sample_other(rng: &mut SmallRng, n: u32, src: NodeIdx) -> NodeIdx {
         debug_assert!(n > 1, "sampling requires at least two nodes");
         loop {
-            let cand = NodeIdx(rng.gen_range(0..n as u32));
+            let cand = NodeIdx(rng.gen_range(0..n));
             if cand != src {
                 return cand;
             }
@@ -424,10 +484,18 @@ impl<S> Network<S> {
     /// [`Metrics::per_round`]).
     ///
     /// The round loop is allocation-free in steady state: the resolved
-    /// pushes/pulls and the response buffer live in scratch storage reused
-    /// across rounds (per message type `M`), push payloads are moved — not
-    /// cloned — to their recipient, and per-round stats are `Copy`. Only
-    /// the `per_round` log grows (amortized; see [`Self::reserve_rounds`]).
+    /// contact columns and the response buffer live in scratch storage
+    /// reused across rounds (per message type `M`), push payloads are
+    /// moved — not cloned — to their recipient, and per-round stats are
+    /// `Copy`. Only the `per_round` log grows (amortized; see
+    /// [`Self::reserve_rounds`]).
+    ///
+    /// Contact resolution is batched: phase 1 streams the alive mask and
+    /// resolves every push/pull target of the round into pre-sized
+    /// struct-of-arrays scratch columns, phase 2 computes responses and
+    /// loss verdicts column-wise, and phases 3–4 apply all deliveries in
+    /// one pass each — the delivery loops touch only the packed `u32`
+    /// columns plus the recipient's state, never re-deriving targets.
     pub fn round<M: Wire + 'static>(
         &mut self,
         mut decide: impl FnMut(NodeCtx<'_, S>, &mut SmallRng) -> Action<M>,
@@ -435,6 +503,7 @@ impl<S> Network<S> {
         mut deliver: impl FnMut(&mut S, Delivery<M>),
     ) -> RoundStats {
         let n = self.len();
+        let n32 = n as u32;
         let mut stats = RoundStats {
             round: self.round,
             ..Default::default()
@@ -448,6 +517,7 @@ impl<S> Network<S> {
         let mut loss = self.loss;
         if let Some(churn) = self.churn.as_mut() {
             let ev = churn.advance(self.round, &mut self.alive);
+            self.alive_count = self.alive_count + ev.recovered as usize - ev.crashed as usize;
             self.metrics.crashes += u64::from(ev.crashed);
             self.metrics.recoveries += u64::from(ev.recovered);
             if ev.bursting {
@@ -456,76 +526,99 @@ impl<S> Network<S> {
             }
         }
 
-        self.fan_in.iter_mut().for_each(|c| *c = 0);
-        let mut scratch = self.scratch.take::<M>();
-
-        // Phase 1: collect and resolve actions.
-        for i in 0..n {
-            if !self.alive[i] {
-                continue;
+        // Reset the fan-in counters sparsely: only nodes whose `touched`
+        // bit was set last round can hold a nonzero counter, so zero 64
+        // counters per set word instead of streaming all n.
+        for wi in 0..self.touched.words().len() {
+            if self.touched.words()[wi] != 0 {
+                let start = wi * 64;
+                let end = (start + 64).min(n);
+                self.fan_in[start..end].fill(0);
             }
-            let idx = NodeIdx(i as u32);
-            let ctx = NodeCtx {
-                idx,
-                id: self.ids.id_of(idx),
-                state: &self.states[i],
-                round: self.round,
-            };
-            let action = decide(ctx, &mut self.rng);
-            let target = match &action {
-                Action::Idle => continue,
-                Action::Push { to, .. } => *to,
-                Action::Pull { to } => *to,
-            };
-            stats.initiators += 1;
-            self.fan_in[i] += 1;
-            let dst = match target {
-                Target::Random => match self.topo.as_mut() {
-                    None => {
-                        if n == 1 {
-                            continue; // nobody to talk to
+        }
+        self.touched.clear_all();
+        let mut scratch = self.scratch.take::<M>();
+        scratch.presize(n);
+
+        // Phase 1: collect actions and batch-resolve their targets into
+        // the SoA columns, word-streaming the alive mask (64 dead nodes
+        // cost one load).
+        for wi in 0..self.alive.words().len() {
+            let mut w = self.alive.words()[wi];
+            while w != 0 {
+                let i = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let idx = NodeIdx(i as u32);
+                let ctx = NodeCtx {
+                    idx,
+                    id: self.ids.id_of(idx),
+                    state: &self.states[i],
+                    round: self.round,
+                };
+                let action = decide(ctx, &mut self.rng);
+                let target = match &action {
+                    Action::Idle => continue,
+                    Action::Push { to, .. } => *to,
+                    Action::Pull { to } => *to,
+                };
+                stats.initiators += 1;
+                self.fan_in[i] += 1;
+                self.touched.set(i);
+                let dst = match target {
+                    Target::Random => match self.topo.as_mut() {
+                        None => {
+                            if n32 == 1 {
+                                continue; // nobody to talk to
+                            }
+                            Self::sample_other(&mut self.rng, n32, idx)
                         }
-                        Self::sample_other(&mut self.rng, n, idx)
-                    }
-                    // On a contact graph: a uniformly random alive
-                    // neighbor, from the topology's own stream. With
-                    // every neighbor down the connection attempt fails
-                    // and the node sits the round out (still charged as
-                    // an initiation, like a call to an unknown address).
-                    Some(view) => {
-                        match view
-                            .adj
-                            .sample_alive_neighbor(&mut view.rng, idx, &self.alive)
-                        {
-                            Some(d) => d,
-                            None => continue,
-                        }
-                    }
-                },
-                Target::Direct(id) => match self.ids.resolve(id) {
-                    Some(d) => {
-                        // Restricted direct addressing: a learned ID is
-                        // only usable over an existing link; calls to
-                        // non-neighbors are lost in the void (charged,
-                        // never delivered).
-                        if let Some(view) = &self.topo {
-                            if view.mode == DirectAddressing::Restricted
-                                && !view.adj.contains_edge(idx.0, d.0)
+                        // On a contact graph: a uniformly random alive
+                        // neighbor, from the topology's own stream. With
+                        // every neighbor down the connection attempt fails
+                        // and the node sits the round out (still charged as
+                        // an initiation, like a call to an unknown address).
+                        Some(view) => {
+                            match view
+                                .adj
+                                .sample_alive_neighbor(&mut view.rng, idx, &self.alive)
                             {
-                                continue;
+                                Some(d) => d,
+                                None => continue,
                             }
                         }
-                        d
+                    },
+                    Target::Direct(id) => match self.ids.resolve(id) {
+                        Some(d) => {
+                            // Restricted direct addressing: a learned ID is
+                            // only usable over an existing link; calls to
+                            // non-neighbors are lost in the void (charged,
+                            // never delivered).
+                            if let Some(view) = &self.topo {
+                                if view.mode == DirectAddressing::Restricted
+                                    && !view.adj.contains_edge(idx.0, d.0)
+                                {
+                                    continue;
+                                }
+                            }
+                            d
+                        }
+                        // Unknown address: the message is lost in the void but
+                        // the attempt still counts as an initiated communication.
+                        None => continue,
+                    },
+                };
+                match action {
+                    Action::Push { msg, .. } => {
+                        scratch.push_src.push(idx.0);
+                        scratch.push_dst.push(dst.0);
+                        scratch.push_msg.push(msg);
                     }
-                    // Unknown address: the message is lost in the void but
-                    // the attempt still counts as an initiated communication.
-                    None => continue,
-                },
-            };
-            match action {
-                Action::Push { msg, .. } => scratch.pushes.push((idx, dst, msg)),
-                Action::Pull { .. } => scratch.pulls.push((idx, dst)),
-                Action::Idle => unreachable!(),
+                    Action::Pull { .. } => {
+                        scratch.pull_src.push(idx.0);
+                        scratch.pull_dst.push(dst.0);
+                    }
+                    Action::Idle => unreachable!(),
+                }
             }
         }
 
@@ -533,8 +626,8 @@ impl<S> Network<S> {
         // (address-oblivious; one response per responder per round). A
         // lost request or lost reply surfaces identically to the puller:
         // no response arrives.
-        for &(_, dst) in &scratch.pulls {
-            let d = dst.as_usize();
+        for k in 0..scratch.pull_dst.len() {
+            let d = scratch.pull_dst[k] as usize;
             // Both legs are sampled unconditionally so the number of RNG
             // draws never depends on the first draw's outcome — the
             // stream stays stable under loss-model refactors.
@@ -543,7 +636,7 @@ impl<S> Network<S> {
                 let reply_lost = self.rng.gen_bool(loss);
                 request_lost | reply_lost
             };
-            let resp = if self.alive[d] && !lost {
+            let resp = if self.alive.get(d) && !lost {
                 respond(&self.states[d])
             } else {
                 None
@@ -551,9 +644,23 @@ impl<S> Network<S> {
             scratch.responses.push(resp);
         }
 
-        // Phase 3: deliver pushes. Payloads are moved out of the scratch
-        // buffer (capacity is retained for the next round).
-        for (src, dst, msg) in scratch.pushes.drain(..) {
+        // Phase 2b: batch the push-loss verdicts (same draw order the
+        // interleaved engine used — delivery makes no draws — and no
+        // draws at all when the knob is zero).
+        if loss > 0.0 {
+            for _ in 0..scratch.push_src.len() {
+                let verdict = self.rng.gen_bool(loss);
+                scratch.push_lost.push(verdict);
+            }
+        }
+
+        // Phase 3: apply pushes in one pass over the columns. Payloads
+        // are moved out of the scratch buffer (capacity is retained for
+        // the next round).
+        let sc = &mut *scratch;
+        for (k, msg) in sc.push_msg.drain(..).enumerate() {
+            let src = NodeIdx(sc.push_src[k]);
+            let dst = NodeIdx(sc.push_dst[k]);
             let d = dst.as_usize();
             let bits = self.header_bits + msg.size_bits();
             stats.messages += 1;
@@ -562,8 +669,9 @@ impl<S> Network<S> {
             self.metrics.pushes += 1;
             self.metrics.payload_messages += 1;
             self.fan_in[d] += 1;
-            let lost = loss > 0.0 && self.rng.gen_bool(loss);
-            if self.alive[d] && !lost {
+            self.touched.set(d);
+            let lost = !sc.push_lost.is_empty() && sc.push_lost[k];
+            if self.alive.get(d) && !lost {
                 self.trace.record(Event {
                     round: self.round,
                     from: src,
@@ -588,13 +696,15 @@ impl<S> Network<S> {
         }
 
         // Phase 4: deliver pull replies, then pulled-by notifications.
-        let sc = &mut *scratch;
-        for (&(src, dst), reply) in sc.pulls.iter().zip(sc.responses.drain(..)) {
+        for (k, reply) in sc.responses.drain(..).enumerate() {
+            let src = NodeIdx(sc.pull_src[k]);
+            let dst = NodeIdx(sc.pull_dst[k]);
             // The request itself: header-only message.
             stats.messages += 1;
             stats.bits += self.header_bits;
             self.metrics.pull_requests += 1;
             self.fan_in[dst.as_usize()] += 1;
+            self.touched.set(dst.as_usize());
             self.trace.record(Event {
                 round: self.round,
                 from: src,
@@ -623,15 +733,29 @@ impl<S> Network<S> {
                 );
             }
         }
-        for &(src, dst) in &scratch.pulls {
-            let d = dst.as_usize();
-            if self.alive[d] {
-                deliver(&mut self.states[d], Delivery::PulledBy(self.ids.id_of(src)));
+        for k in 0..sc.pull_src.len() {
+            let d = sc.pull_dst[k] as usize;
+            if self.alive.get(d) {
+                deliver(
+                    &mut self.states[d],
+                    Delivery::PulledBy(self.ids.id_of(NodeIdx(sc.pull_src[k]))),
+                );
             }
         }
         self.scratch.put(scratch);
 
-        stats.max_fan_in = u64::from(self.fan_in.iter().max().copied().unwrap_or(0));
+        // The fan-in maximum only needs the touched nodes — untouched
+        // counters are zero by the sparse-reset invariant.
+        let mut max_fan = 0u32;
+        for (wi, &word) in self.touched.words().iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let i = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                max_fan = max_fan.max(self.fan_in[i]);
+            }
+        }
+        stats.max_fan_in = u64::from(max_fan);
         self.metrics.rounds += 1;
         self.metrics.messages += stats.messages;
         self.metrics.bits += stats.bits;
@@ -1036,6 +1160,68 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn alive_count_stays_incremental_under_churn() {
+        // The O(1) incremental count must track the alive mask exactly
+        // through crash batches and recoveries: at every round boundary
+        // `alive == n - crashes + recoveries` (no time-0 failures here,
+        // so the adversary is the only thing touching the mask). The
+        // debug build also cross-checks against the popcount inside
+        // `alive_count` itself on every call.
+        let n = 512;
+        let mut net: Network<St> = Network::new(n, 21);
+        net.set_churn(
+            ChurnConfig {
+                crash_rate: 0.8,
+                batch_size: 16,
+                recovery_rate: 0.4,
+                ..ChurnConfig::default()
+            },
+            7,
+        );
+        for _ in 0..64 {
+            everyone_pushes(&mut net);
+            let m = net.metrics();
+            // Written additively: nodes recover and crash again, so the
+            // cumulative crash count can exceed n.
+            assert_eq!(
+                net.alive_count() as u64 + m.crashes,
+                n as u64 + m.recoveries,
+                "incremental count diverged from the churn ledger"
+            );
+        }
+        let m = net.metrics();
+        assert!(
+            m.crashes > 0 && m.recoveries > 0,
+            "the schedule must actually have fired for the ledger check to bite"
+        );
+    }
+
+    #[test]
+    fn sample_other_is_confined_to_the_u32_domain() {
+        // At n = 2^22 the uniform-target draw runs entirely in u32 (no
+        // usize round-trip); across many draws it must never return the
+        // source and never leave [0, n) — including for the boundary
+        // sources 0 and n-1.
+        let n: u32 = 1 << 22;
+        let mut rng = rng_from_seed(0xA11CE);
+        for src in [NodeIdx(0), NodeIdx(12_345), NodeIdx(n - 1)] {
+            for _ in 0..10_000 {
+                let t = Network::<St>::sample_other(&mut rng, n, src);
+                assert_ne!(t, src, "sampled the source itself");
+                assert!(t.0 < n, "sampled out of range: {} >= {n}", t.0);
+            }
+        }
+        // The two-node edge case: the only legal answer is "the other
+        // node", every time.
+        for _ in 0..100 {
+            assert_eq!(
+                Network::<St>::sample_other(&mut rng, 2, NodeIdx(1)),
+                NodeIdx(0)
+            );
+        }
     }
 
     #[test]

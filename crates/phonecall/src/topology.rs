@@ -40,6 +40,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitset::BitSet;
 use crate::id::NodeIdx;
 use crate::rng::{derive_seed, rng_from_seed};
 use rand::rngs::SmallRng;
@@ -580,17 +581,17 @@ impl Adjacency {
         &self,
         rng: &mut SmallRng,
         src: NodeIdx,
-        alive: &[bool],
+        alive: &BitSet,
     ) -> Option<NodeIdx> {
         let row = self.neighbors(src.0);
-        let alive_deg = row.iter().filter(|&&u| alive[u as usize]).count();
+        let alive_deg = row.iter().filter(|&&u| alive.get(u as usize)).count();
         if alive_deg == 0 {
             return None;
         }
         let pick = rng.gen_range(0..alive_deg);
         let mut seen = 0;
         for &u in row {
-            if alive[u as usize] {
+            if alive.get(u as usize) {
                 if seen == pick {
                     return Some(NodeIdx(u));
                 }
@@ -970,18 +971,18 @@ mod tests {
     #[test]
     fn sampling_is_confined_to_alive_neighbors() {
         let adj = built(&Topology::Ring, 6, 1);
-        let mut alive = vec![true; 6];
+        let mut alive = BitSet::new_set(6);
         let mut rng = rng_from_seed(9);
         for _ in 0..64 {
             let got = adj.sample_alive_neighbor(&mut rng, NodeIdx(0), &alive);
             assert!(matches!(got, Some(NodeIdx(1)) | Some(NodeIdx(5))));
         }
-        alive[1] = false;
+        alive.clear(1);
         for _ in 0..16 {
             let got = adj.sample_alive_neighbor(&mut rng, NodeIdx(0), &alive);
             assert_eq!(got, Some(NodeIdx(5)), "dead neighbors leave the draw");
         }
-        alive[5] = false;
+        alive.clear(5);
         assert_eq!(
             adj.sample_alive_neighbor(&mut rng, NodeIdx(0), &alive),
             None,

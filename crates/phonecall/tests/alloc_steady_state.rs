@@ -8,9 +8,11 @@
 //! [`Network::reserve_rounds`] call, executing rounds must perform *zero*
 //! heap allocations. This test wraps the global allocator in a counter
 //! and asserts exactly that — for the base engine, with the dynamic
-//! adversary attached, and with a `RandomRegular` topology installed
+//! adversary attached, with a `RandomRegular` topology installed
 //! (neighbor sampling scans the CSR adjacency built once at install
-//! time; it must never allocate per round).
+//! time; it must never allocate per round), and at `n = 2^20` — the
+//! struct-of-arrays engine sizes its columns once at construction, so
+//! the zero must be scale-independent.
 //!
 //! It lives in its own integration-test binary (one `#[test]` function)
 //! so no concurrently running test can pollute the allocation counter —
@@ -91,21 +93,26 @@ fn mixed_round(net: &mut Network<St>) {
 
 const MEASURED_ROUNDS: usize = 64;
 
-/// Warm-up, reserve, then assert the measured window allocates nothing.
-fn assert_steady_state_is_allocation_free(net: &mut Network<St>, what: &str) {
+/// Warm-up, reserve, then assert a `rounds`-round measured window
+/// allocates nothing.
+fn assert_rounds_allocation_free(net: &mut Network<St>, what: &str, rounds: usize) {
     mixed_round(net);
     mixed_round(net);
-    net.reserve_rounds(MEASURED_ROUNDS + 1);
+    net.reserve_rounds(rounds + 1);
 
     let before = allocations();
-    for _ in 0..MEASURED_ROUNDS {
+    for _ in 0..rounds {
         mixed_round(net);
     }
     let during = allocations() - before;
     assert_eq!(
         during, 0,
-        "{what} round loop allocated {during} times over {MEASURED_ROUNDS} rounds"
+        "{what} round loop allocated {during} times over {rounds} rounds"
     );
+}
+
+fn assert_steady_state_is_allocation_free(net: &mut Network<St>, what: &str) {
+    assert_rounds_allocation_free(net, what, MEASURED_ROUNDS);
 }
 
 #[test]
@@ -167,5 +174,28 @@ fn round_loop_does_not_allocate_in_steady_state() {
     assert!(
         m.pushes > 0 && m.pull_requests > 0 && m.crashes > 0,
         "the constrained network must actually have trafficked"
+    );
+
+    // The million-node contract: the bitset/SoA engine sizes every
+    // per-node column (alive words, fan-in counters, scratch push/pull
+    // columns) once at construction, so the same zero must hold at
+    // n = 2^20. A short measured window keeps the debug-build test
+    // quick — zero is zero at any window length; what scale tests is
+    // that no column ever regrows.
+    let mut huge: Network<St> = Network::new(1 << 20, 45);
+    huge.set_churn(
+        ChurnConfig {
+            crash_rate: 0.5,
+            batch_size: 1 << 12,
+            recovery_rate: 0.3,
+            ..ChurnConfig::default()
+        },
+        101,
+    );
+    assert_rounds_allocation_free(&mut huge, "million-node", 4);
+    let m = huge.metrics();
+    assert!(
+        m.pushes > (1 << 18) && m.pull_requests > 0 && m.crashes > 0,
+        "the million-node network must actually have trafficked"
     );
 }

@@ -1,0 +1,124 @@
+//! Layout-equivalence proof for the packed per-node flag columns.
+//!
+//! PR 6 swapped the engine's `Vec<bool>` flag columns (alive mask,
+//! touched-this-round mask, the adversary's crashed/protected sets) for
+//! `u64`-word [`BitSet`]s. The swap is only legal if the bitset is
+//! *semantically invisible*: every observable — membership, counts,
+//! iteration order — must agree with the `Vec<bool>` it replaced, bit
+//! for bit, or golden digests move. This model-based proptest drives a
+//! `BitSet` and a `Vec<bool>` model through random op sequences and
+//! asserts full-state agreement after every single op (referenced from
+//! `bitset.rs`'s module docs).
+
+use phonecall::BitSet;
+use proptest::prelude::*;
+
+/// One step of the op language. Raw indices are reduced `% len` when a
+/// sequence is applied, so every op lands in-bounds regardless of the
+/// length it was drawn against (out-of-bounds is a panic contract,
+/// covered by unit tests in `bitset.rs`).
+#[derive(Clone, Debug)]
+enum Op {
+    Set(usize),
+    Clear(usize),
+    Assign(usize, bool),
+    SetAll,
+    ClearAll,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    // Single-bit ops dominate the mix (listed twice, so the uniform
+    // union picks them 6:2 over the whole-set resets, which would
+    // otherwise keep sequences from building interesting word
+    // patterns). Assign packs its bool into the low bit of one draw —
+    // the vendored proptest has no tuple strategies.
+    let op = prop_oneof![
+        (0usize..1024).prop_map(Op::Set),
+        (0usize..1024).prop_map(Op::Clear),
+        (0usize..2048).prop_map(|v| Op::Assign(v >> 1, v & 1 == 1)),
+        (0usize..1024).prop_map(Op::Set),
+        (0usize..1024).prop_map(Op::Clear),
+        (0usize..2048).prop_map(|v| Op::Assign(v >> 1, v & 1 == 1)),
+        Just(Op::SetAll),
+        Just(Op::ClearAll),
+    ];
+    proptest::collection::vec(op, 1..200)
+}
+
+/// Every observable of the bitset against the model: per-index `get`,
+/// the popcount, the set-index iteration (order included), and the tail
+/// invariant (bits past `len` in the last word stay zero, so popcounts
+/// can run over whole words).
+fn assert_agrees(bits: &BitSet, model: &[bool]) {
+    assert_eq!(bits.len(), model.len());
+    for (i, &m) in model.iter().enumerate() {
+        assert_eq!(bits.get(i), m, "bit {i} disagrees");
+    }
+    let expect_ones: Vec<usize> = (0..model.len()).filter(|&i| model[i]).collect();
+    assert_eq!(bits.count_ones(), expect_ones.len());
+    let got_ones: Vec<usize> = bits.iter_ones().collect();
+    assert_eq!(got_ones, expect_ones, "iter_ones order or content");
+    if let Some(&last) = bits.words().last() {
+        let tail = model.len() % 64;
+        if tail != 0 {
+            assert_eq!(last >> tail, 0, "tail bits past len must stay zero");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Random op sequences over lengths that straddle word boundaries
+    /// (1..=200 covers sub-word, exactly-word, and multi-word-with-tail
+    /// layouts). The model is checked after *every* op, not just at the
+    /// end, so a transiently corrupted word is caught at the op that
+    /// corrupts it.
+    #[test]
+    fn bitset_matches_vec_bool_model(
+        len in 1usize..=200,
+        start_set in any::<bool>(),
+        seq in ops(),
+    ) {
+        let mut bits = if start_set { BitSet::new_set(len) } else { BitSet::new(len) };
+        let mut model = vec![start_set; len];
+        assert_agrees(&bits, &model);
+        for op in seq {
+            match op {
+                Op::Set(i) => { let i = i % len; bits.set(i); model[i] = true; }
+                Op::Clear(i) => { let i = i % len; bits.clear(i); model[i] = false; }
+                Op::Assign(i, b) => { let i = i % len; bits.assign(i, b); model[i] = b; }
+                Op::SetAll => { bits.set_all(); model.fill(true); }
+                Op::ClearAll => { bits.clear_all(); model.fill(false); }
+            }
+            assert_agrees(&bits, &model);
+        }
+    }
+
+    /// Equality on `BitSet` is layout equality: two sets built by any
+    /// op sequences agree under `==` exactly when their models do.
+    #[test]
+    fn bitset_eq_matches_model_eq(
+        len in 1usize..=130,
+        seq_a in ops(),
+        seq_b in ops(),
+    ) {
+        let apply = |seq: &[Op]| {
+            let mut bits = BitSet::new(len);
+            let mut model = vec![false; len];
+            for op in seq {
+                match *op {
+                    Op::Set(i) => { let i = i % len; bits.set(i); model[i] = true; }
+                    Op::Clear(i) => { let i = i % len; bits.clear(i); model[i] = false; }
+                    Op::Assign(i, b) => { let i = i % len; bits.assign(i, b); model[i] = b; }
+                    Op::SetAll => { bits.set_all(); model.fill(true); }
+                    Op::ClearAll => { bits.clear_all(); model.fill(false); }
+                }
+            }
+            (bits, model)
+        };
+        let (bits_a, model_a) = apply(&seq_a);
+        let (bits_b, model_b) = apply(&seq_b);
+        prop_assert_eq!(bits_a == bits_b, model_a == model_b);
+    }
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Byte-compare every experiment binary's default-grid stdout against a
+# reference capture — the honest form of a golden re-pin.
+#
+# Usage:
+#   tests/compare_seed_stdout.sh capture <ref-dir>   # record stdouts from this build
+#   tests/compare_seed_stdout.sh compare <ref-dir>   # cmp this build against a capture
+#
+# Workflow for an engine refactor (how PR 6 used it): check out the
+# pre-refactor tree, `capture` into a scratch dir, check out the
+# refactored tree, `compare` against it. All eleven experiment tables
+# are exact functions of RNG draw order, so a refactor that claims to be
+# behavior-preserving must produce byte-identical bytes here — and if it
+# intends to change behavior, the diff this script prints is the
+# evidence to cite next to the one-time golden re-pin. Experiment stdout
+# is thread-count invariant by the determinism contract (CI pins
+# GOSSIP_THREADS 1 and 4 over the digest suites), so captures taken at
+# different GOSSIP_THREADS still compare equal.
+
+set -euo pipefail
+
+mode="${1:?usage: $0 capture|compare <ref-dir>}"
+ref_dir="${2:?usage: $0 capture|compare <ref-dir>}"
+
+bins=(
+    exp_e1_rounds
+    exp_e2_messages
+    exp_e3_bits
+    exp_e4_lowerbound
+    exp_e5_delta_clustering
+    exp_e6_tradeoff
+    exp_e7_faults
+    exp_e8_ablations
+    exp_e9_message_loss
+    exp_e10_churn
+    exp_e11_topology
+)
+
+cd "$(dirname "$0")/.."
+cargo build --release -q -p gossip-bench
+
+case "$mode" in
+capture)
+    mkdir -p "$ref_dir"
+    for bin in "${bins[@]}"; do
+        "./target/release/$bin" > "$ref_dir/$bin.txt"
+        echo "captured $bin"
+    done
+    echo "reference stdouts written to $ref_dir"
+    ;;
+compare)
+    fail=0
+    for bin in "${bins[@]}"; do
+        ref="$ref_dir/$bin.txt"
+        if [[ ! -f "$ref" ]]; then
+            echo "MISSING reference: $ref" >&2
+            fail=1
+            continue
+        fi
+        if "./target/release/$bin" | cmp -s - "$ref"; then
+            echo "identical: $bin"
+        else
+            echo "DIVERGED:  $bin (vs $ref)" >&2
+            fail=1
+        fi
+    done
+    if [[ "$fail" -ne 0 ]]; then
+        echo "stdout diverged from the reference capture — either the" >&2
+        echo "refactor is not behavior-preserving, or a golden re-pin is" >&2
+        echo "being made; cite this diff in the re-pin commit." >&2
+        exit 1
+    fi
+    echo "all ${#bins[@]} experiment stdouts byte-identical to $ref_dir"
+    ;;
+*)
+    echo "unknown mode: $mode (want capture|compare)" >&2
+    exit 2
+    ;;
+esac
