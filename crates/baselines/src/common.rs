@@ -56,14 +56,19 @@ pub fn rumor_network(n: usize, cfg: &CommonConfig) -> Network<RumorNode> {
     let mut net: Network<RumorNode> = Network::new(n, cfg.seed);
     net.apply_failures(&cfg.failures);
     net.set_message_loss(cfg.message_loss);
-    // Same stream labels as ClusterSim (4 = churn, 5 = topology), so one
-    // scenario means one crash/recovery/burst history and one contact
-    // graph for every algorithm.
+    // Same stream labels as ClusterSim (4 = churn, 5 = topology, 6 =
+    // traffic), so one scenario means one crash/recovery/burst history,
+    // one contact graph and one rumor stream for every algorithm.
     net.set_churn(cfg.churn.clone(), phonecall::derive_seed(cfg.seed, 4));
     net.set_topology(
         cfg.topology.clone(),
         cfg.addressing,
         phonecall::derive_seed(cfg.seed, 5),
+    );
+    net.set_traffic(
+        cfg.traffic.clone(),
+        cfg.rumor_bits,
+        phonecall::derive_seed(cfg.seed, 6),
     );
     net.states_mut()[cfg.source as usize].informed = true;
     for &extra in &cfg.extra_sources {
@@ -98,6 +103,9 @@ pub fn report_from(net: &Network<RumorNode>) -> RunReport {
         success: informed == alive,
         clustering: ClusteringStats::default(),
         phases: Vec::new(),
+        rumors: net.traffic_summary(),
+        rumor_payloads: m.rumor_payloads,
+        budget_drops: m.budget_drops,
     }
 }
 

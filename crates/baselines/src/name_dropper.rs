@@ -105,6 +105,9 @@ pub fn run_report(n: usize, topology: Topology, cfg: &CommonConfig) -> gossip_co
         success: is_complete(&net),
         clustering: ClusteringStats::default(),
         phases: Vec::new(),
+        rumors: net.traffic_summary(),
+        rumor_payloads: m.rumor_payloads,
+        budget_drops: m.budget_drops,
     }
 }
 
@@ -139,6 +142,13 @@ fn run_net(n: usize, topology: Topology, cfg: &CommonConfig) -> Network<Discover
         cfg.topology.clone(),
         cfg.addressing,
         phonecall::derive_seed(cfg.seed, 5),
+    );
+    // The multi-rumor workload (stream label 6, shared too): workload
+    // rumors ride the ID-list messages like any other payload.
+    net.set_traffic(
+        cfg.traffic.clone(),
+        cfg.rumor_bits,
+        phonecall::derive_seed(cfg.seed, 6),
     );
     let id_bits = phonecall::id_bits(n);
 

@@ -22,7 +22,7 @@
 //! the trait impls here are thin wrappers over them, so every golden
 //! digest stays bit-identical whichever door a caller comes through.
 
-use phonecall::{ChurnConfig, DirectAddressing, FailurePlan, Topology};
+use phonecall::{ChurnConfig, DirectAddressing, FailurePlan, Topology, TrafficConfig};
 
 use crate::config::{Cluster1Config, Cluster2Config, Cluster3Config, CommonConfig, PushPullConfig};
 use crate::params::{ParamError, Value};
@@ -201,6 +201,43 @@ impl Scenario {
     #[must_use]
     pub fn addressing(mut self, mode: DirectAddressing) -> Self {
         self.common.addressing = mode;
+        self
+    }
+
+    /// Attaches the multi-rumor workload: `k` extra rumors arriving at
+    /// seeded random `(node, round)` pairs with exponential inter-arrival
+    /// gaps of rate `arrival_rate`, piggybacking on the algorithm's
+    /// payload messages (see `phonecall::TrafficConfig`). The arrival
+    /// plan seeds off this scenario's run seed, so every algorithm
+    /// facing this scenario faces the *same* rumor stream. `k = 0`
+    /// restores the paper's single-rumor task, bit-identical to
+    /// pre-workload builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics at the builder if the resulting config fails
+    /// [`TrafficConfig::validate`], with the offending knob named.
+    #[must_use]
+    pub fn rumors(mut self, k: u32, arrival_rate: f64) -> Self {
+        let traffic = TrafficConfig {
+            rumors: k,
+            arrival_rate,
+            ..self.common.traffic.clone()
+        };
+        if let Err(e) = traffic.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        self.common.traffic = traffic;
+        self
+    }
+
+    /// Sets the per-node per-round bandwidth budget of the workload:
+    /// how many workload rumor payloads one sender may piggyback per
+    /// round across all its messages (0 = unlimited). Inert without
+    /// [`Scenario::rumors`].
+    #[must_use]
+    pub fn bandwidth(mut self, budget: u32) -> Self {
+        self.common.traffic.bandwidth = budget;
         self
     }
 
@@ -512,6 +549,30 @@ mod tests {
             .addressing(DirectAddressing::Restricted);
         assert_eq!(s.common().topology, Topology::RandomRegular(4));
         assert_eq!(s.common().addressing, DirectAddressing::Restricted);
+    }
+
+    #[test]
+    fn rumors_builder_mirrors_common_config() {
+        let s = Scenario::broadcast(64).rumors(16, 2.0).bandwidth(3);
+        assert_eq!(
+            s.common().traffic,
+            TrafficConfig {
+                rumors: 16,
+                arrival_rate: 2.0,
+                bandwidth: 3,
+                start_round: 0,
+            }
+        );
+        assert!(s.common().traffic.is_active());
+        // Builder order must not matter.
+        let s2 = Scenario::broadcast(64).bandwidth(3).rumors(16, 2.0);
+        assert_eq!(s.common().traffic, s2.common().traffic);
+    }
+
+    #[test]
+    #[should_panic(expected = "\"arrival_rate\" wants a positive finite rate")]
+    fn builder_rejects_invalid_arrival_rate_naming_the_knob() {
+        let _ = Scenario::broadcast(8).rumors(4, 0.0);
     }
 
     #[test]

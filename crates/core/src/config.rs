@@ -7,7 +7,7 @@
 //! were validated across `n ∈ [2^8, 2^20]` (see the integration tests and
 //! EXPERIMENTS.md).
 
-use phonecall::{ChurnConfig, DirectAddressing, FailurePlan, NodeIdx, Topology};
+use phonecall::{ChurnConfig, DirectAddressing, FailurePlan, NodeIdx, Topology, TrafficConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::params::{err, ParamError, Value};
@@ -47,6 +47,12 @@ pub struct CommonConfig {
     /// under [`DirectAddressing::Restricted`]. Vacuous on the complete
     /// graph.
     pub addressing: DirectAddressing,
+    /// The multi-rumor workload (see `phonecall::TrafficConfig`): K
+    /// extra rumors arriving at seeded random `(node, round)` pairs that
+    /// piggyback on the algorithm's payload messages under a per-node
+    /// per-round bandwidth budget. Inert by default, keeping runs
+    /// bit-identical to pre-workload builds.
+    pub traffic: TrafficConfig,
 }
 
 impl Default for CommonConfig {
@@ -61,6 +67,7 @@ impl Default for CommonConfig {
             churn: ChurnConfig::default(),
             topology: Topology::Complete,
             addressing: DirectAddressing::Overlay,
+            traffic: TrafficConfig::default(),
         }
     }
 }
@@ -76,6 +83,7 @@ impl CommonConfig {
         "churn",
         "topology",
         "addressing",
+        "traffic",
     ];
 
     /// Same configuration with a different seed (for multi-trial sweeps).
@@ -121,6 +129,7 @@ impl CommonConfig {
                 "addressing",
                 Value::Str(self.addressing.label().to_string()),
             ),
+            ("traffic", traffic_params(&self.traffic)),
         ])
     }
 
@@ -162,6 +171,7 @@ impl CommonConfig {
                 }
                 "churn" => apply_churn_params(&mut self.churn, v)?,
                 "topology" => apply_topology_params(&mut self.topology, v)?,
+                "traffic" => apply_traffic_params(&mut self.traffic, v)?,
                 "addressing" => {
                     let label = v.as_str().ok_or_else(|| {
                         err(format!(
@@ -247,6 +257,41 @@ pub fn apply_churn_params(c: &mut ChurnConfig, overrides: &Value) -> Result<(), 
         }
     }
     c.validate().map_err(ParamError)
+}
+
+/// A [`TrafficConfig`] as a JSON object (the workload slice of
+/// [`CommonConfig::params`]).
+#[must_use]
+pub fn traffic_params(t: &TrafficConfig) -> Value {
+    Value::obj([
+        ("rumors", Value::Num(f64::from(t.rumors))),
+        ("arrival_rate", Value::Num(t.arrival_rate)),
+        ("bandwidth", Value::Num(f64::from(t.bandwidth))),
+        ("start_round", u64_value(t.start_round)),
+    ])
+}
+
+const TRAFFIC_PARAM_KEYS: &[&str] = &["rumors", "arrival_rate", "bandwidth", "start_round"];
+
+/// Applies a JSON object of overrides onto a [`TrafficConfig`] and
+/// validates the result.
+///
+/// # Errors
+///
+/// Rejects unknown keys (listing the valid ones), wrongly typed values,
+/// and any resulting config failing [`TrafficConfig::validate`] (the
+/// error names the offending knob).
+pub fn apply_traffic_params(t: &mut TrafficConfig, overrides: &Value) -> Result<(), ParamError> {
+    for (key, v) in overrides.expect_obj("traffic parameters")? {
+        match key.as_str() {
+            "rumors" => set_u32(&mut t.rumors, key, v)?,
+            "arrival_rate" => set_f64(&mut t.arrival_rate, key, v)?,
+            "bandwidth" => set_u32(&mut t.bandwidth, key, v)?,
+            "start_round" => t.start_round = want_u64(key, v)?,
+            _ => return Err(unknown_key("traffic", key, TRAFFIC_PARAM_KEYS)),
+        }
+    }
+    t.validate().map_err(ParamError)
 }
 
 /// A [`Topology`] as a JSON object (the topology half of
@@ -1043,6 +1088,46 @@ mod tests {
             .apply_params(&Value::parse(r#"{"addressing": "tunnel"}"#).unwrap())
             .unwrap_err();
         assert!(e.0.contains("overlay"), "{e}");
+    }
+
+    #[test]
+    fn traffic_params_round_trip_through_json() {
+        let mut common = CommonConfig::default();
+        common.traffic = TrafficConfig {
+            rumors: 32,
+            arrival_rate: 2.5,
+            bandwidth: 3,
+            start_round: 4,
+        };
+        let doc = common.params();
+        assert_eq!(Value::parse(&doc.render()).unwrap(), doc, "JSON stable");
+        let mut rebuilt = CommonConfig::default();
+        rebuilt
+            .apply_params(&Value::parse(&doc.render()).unwrap())
+            .unwrap();
+        assert_eq!(rebuilt, common, "apply(params()) is the identity");
+    }
+
+    #[test]
+    fn traffic_apply_rejects_bad_keys_and_values() {
+        let mut t = TrafficConfig::default();
+        let e =
+            apply_traffic_params(&mut t, &Value::parse(r#"{"rumor": 5}"#).unwrap()).unwrap_err();
+        assert!(e.0.contains("valid keys"), "{e}");
+        let e = apply_traffic_params(&mut t, &Value::parse(r#"{"arrival_rate": 0}"#).unwrap())
+            .unwrap_err();
+        assert!(e.0.contains("\"arrival_rate\""), "{e}");
+        let e =
+            apply_traffic_params(&mut t, &Value::parse(r#"{"rumors": 1.5}"#).unwrap()).unwrap_err();
+        assert!(e.0.contains("integer"), "{e}");
+        let mut t = TrafficConfig::default();
+        apply_traffic_params(
+            &mut t,
+            &Value::parse(r#"{"rumors": 8, "bandwidth": 2}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(t.rumors, 8);
+        assert_eq!(t.bandwidth, 2);
     }
 
     #[test]

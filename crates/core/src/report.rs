@@ -1,5 +1,6 @@
 //! Run reports: what an algorithm run cost and whether it succeeded.
 
+use phonecall::RumorStatus;
 use serde::Serialize;
 
 /// Cost of one named phase of an algorithm.
@@ -61,6 +62,13 @@ pub struct RunReport {
     pub clustering: ClusteringStats,
     /// Per-phase breakdown.
     pub phases: Vec<PhaseReport>,
+    /// Per-rumor status of the multi-rumor workload, in arrival order
+    /// (empty for the paper's single-rumor task).
+    pub rumors: Vec<RumorStatus>,
+    /// Workload rumor payloads piggybacked on delivered messages.
+    pub rumor_payloads: u64,
+    /// Workload transfers suppressed by the per-node bandwidth budget.
+    pub budget_drops: u64,
 }
 
 impl RunReport {
@@ -87,6 +95,33 @@ impl RunReport {
     pub fn uninformed(&self) -> usize {
         self.alive - self.informed
     }
+
+    /// Workload rumors that reached every alive node.
+    #[must_use]
+    pub fn rumors_completed(&self) -> usize {
+        self.rumors.iter().filter(|r| r.completed.is_some()).count()
+    }
+
+    /// Latencies (arrival → completion, inclusive) of the completed
+    /// workload rumors, in arrival order.
+    #[must_use]
+    pub fn rumor_latencies(&self) -> Vec<u64> {
+        self.rumors
+            .iter()
+            .filter_map(RumorStatus::latency)
+            .collect()
+    }
+
+    /// Workload throughput in rumors completed per round (0 for a
+    /// zero-round or workload-free run).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.rumors_completed() as f64 / self.rounds as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +142,9 @@ mod tests {
             success: false,
             clustering: ClusteringStats::default(),
             phases: vec![],
+            rumors: vec![],
+            rumor_payloads: 0,
+            budget_drops: 0,
         }
     }
 
@@ -117,6 +155,36 @@ mod tests {
         assert!((r.payload_messages_per_node() - 3.0).abs() < 1e-12);
         assert!((r.bits_per_node() - 100.0).abs() < 1e-12);
         assert_eq!(r.uninformed(), 2);
+    }
+
+    #[test]
+    fn workload_measures() {
+        let mut r = report();
+        assert_eq!(r.rumors_completed(), 0);
+        assert!((r.throughput() - 0.0).abs() < 1e-12, "no workload");
+        r.rumors = vec![
+            RumorStatus {
+                origin: 1,
+                arrival: 0,
+                completed: Some(5),
+                informed: 90,
+            },
+            RumorStatus {
+                origin: 2,
+                arrival: 3,
+                completed: Some(6),
+                informed: 90,
+            },
+            RumorStatus {
+                origin: 3,
+                arrival: 4,
+                completed: None,
+                informed: 12,
+            },
+        ];
+        assert_eq!(r.rumors_completed(), 2);
+        assert_eq!(r.rumor_latencies(), vec![6, 4]);
+        assert!((r.throughput() - 2.0 / 12.0).abs() < 1e-12);
     }
 
     #[test]

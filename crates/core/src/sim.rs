@@ -65,16 +65,22 @@ impl ClusterSim {
         sim.apply_failures(&common.failures);
         sim.net.set_message_loss(common.message_loss);
         // Stream labels: 1/2 are the engine's (ids, targets), 3 is the
-        // algorithm RNG above, 4 the churn schedule, 5 the topology
-        // (shared with the baselines, so one scenario means one graph —
-        // and one adversary history — for every algorithm). Inert
-        // configs and the complete topology schedule/install nothing.
+        // algorithm RNG above, 4 the churn schedule, 5 the topology, 6
+        // the traffic plan (shared with the baselines, so one scenario
+        // means one graph — and one adversary history, and one rumor
+        // stream — for every algorithm). Inert configs and the complete
+        // topology schedule/install nothing.
         sim.net
             .set_churn(common.churn.clone(), phonecall::derive_seed(common.seed, 4));
         sim.net.set_topology(
             common.topology.clone(),
             common.addressing,
             phonecall::derive_seed(common.seed, 5),
+        );
+        sim.net.set_traffic(
+            common.traffic.clone(),
+            common.rumor_bits,
+            phonecall::derive_seed(common.seed, 6),
         );
         sim.net.states_mut()[common.source as usize].informed = true;
         for &extra in &common.extra_sources {
@@ -237,7 +243,10 @@ impl ClusterSim {
             informed,
             success: informed == alive,
             clustering: self.clustering_stats(),
+            rumor_payloads: m.rumor_payloads,
+            budget_drops: m.budget_drops,
             phases: self.take_phases(),
+            rumors: self.net.traffic_summary(),
         }
     }
 }

@@ -126,7 +126,9 @@ pub fn best_fits(ns: &[f64], ys: &[f64]) -> Vec<ScalingFit> {
         .into_iter()
         .map(|law| fit_ratio(ns, ys, law))
         .collect();
-    fits.sort_by(|a, b| b.r2.partial_cmp(&a.r2).expect("finite r2"));
+    // Total order, matching the `Summary::from_samples` NaN policy: a
+    // NaN-poisoned R² sorts to the back instead of panicking mid-sweep.
+    fits.sort_by(|a, b| b.r2.total_cmp(&a.r2));
     fits
 }
 
@@ -173,6 +175,26 @@ mod tests {
         let f = fit_ratio(&xs, &ys, ScalingLaw::Constant);
         assert!((f.c - 4.0).abs() < 1e-12);
         assert!(f.r2 >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn nan_poisoned_series_ranks_without_panicking() {
+        // Regression: a NaN sample makes every law's R² NaN-adjacent;
+        // best_fits used to panic through partial_cmp().expect("finite
+        // r2"). Post-fix it returns all six fits, finite R² first.
+        let xs = ns();
+        let mut ys: Vec<f64> = xs.iter().map(|&n| 3.0 * n.log2()).collect();
+        ys[4] = f64::NAN;
+        let fits = best_fits(&xs, &ys);
+        assert_eq!(fits.len(), 6, "every law still reported");
+        // With a poisoned y the residuals are NaN everywhere; the point
+        // is ordering stability, not the exact values.
+        let all_nan = fits.iter().all(|f| f.r2.is_nan());
+        let finite_prefix = fits
+            .iter()
+            .position(|f| f.r2.is_nan())
+            .is_none_or(|i| fits[i..].iter().all(|f| f.r2.is_nan()));
+        assert!(all_nan || finite_prefix, "NaN R² sorts after finite R²");
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub use runner::{
     default_threads, par_map_on, par_map_trials, par_map_trials_on, run_algorithm_trials,
     run_trials, run_trials_on, run_trials_seq,
 };
-pub use stats::Summary;
+pub use stats::{jain_fairness, percentile, Summary};
 pub use sweep::{geometric_ns, trial_seeds};
 pub use table::Table;

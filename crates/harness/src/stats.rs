@@ -71,6 +71,47 @@ impl Summary {
     }
 }
 
+/// The `p`-th percentile (0–100) of a sample set by nearest-rank, with
+/// linear interpolation between adjacent order statistics. Returns 0 for
+/// an empty input. NaN samples follow the [`f64::total_cmp`] order
+/// (after `+inf`), matching [`Summary::from_samples`].
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile wants p in [0,100]");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over a set of allocations:
+/// 1.0 when every share is equal, `1/n` when one participant takes
+/// everything. Empty and all-zero inputs — nothing allocated, nobody
+/// disadvantaged — return 1.0.
+#[must_use]
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +158,39 @@ mod tests {
     fn display_contains_mean() {
         let s = Summary::from_samples(&[2.0, 2.0]);
         assert!(s.display_mean_ci().starts_with("2.00"));
+    }
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 50.5).abs() < 1e-12);
+        assert!((percentile(&xs, 90.0) - 90.1).abs() < 1e-9);
+        assert!((percentile(&xs, 100.0) - 100.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0, "empty input");
+        assert!((percentile(&[7.0], 99.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // p25 of [10, 20, 30, 40]: rank 0.75 → 10 + 0.75·10.
+        assert!((percentile(&[40.0, 10.0, 30.0, 20.0], 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile wants p in [0,100]")]
+    fn percentile_rejects_out_of_range_p() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn jain_fairness_known_values() {
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One taker among four: 1/n.
+        assert!((jain_fairness(&[8.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Textbook case: (1+2+3)² / (3·14) = 36/42.
+        assert!((jain_fairness(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+        assert!((jain_fairness(&[]) - 1.0).abs() < 1e-12, "vacuously fair");
+        assert!((jain_fairness(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
     }
 }

@@ -46,6 +46,14 @@
 //!   seed-derived stream, so runs without churn are bit-identical to
 //!   runs before the subsystem existed.
 //!
+//! A **multi-rumor workload** ([`TrafficConfig`] /
+//! [`Network::set_traffic`]) multiplexes K workload rumors over the
+//! run: each rumor originates at a seeded random `(node, round)` pair
+//! and piggybacks on the payload messages the running algorithm already
+//! sends, under a per-node per-round bandwidth budget. Inert configs
+//! install nothing, so single-rumor runs stay bit-identical to
+//! pre-workload builds. See [`traffic`](TrafficConfig).
+//!
 //! The network is complete by default, but a seeded [`Topology`]
 //! ([`Network::set_topology`]) restricts the contact graph: `Random`
 //! targets become uniformly random alive neighbors and, under
@@ -106,6 +114,7 @@ mod network;
 mod rng;
 pub mod topology;
 mod trace;
+mod traffic;
 mod wire;
 
 pub use action::{Action, Delivery, Target};
@@ -119,4 +128,5 @@ pub use network::{Network, NodeCtx};
 pub use rng::{derive_seed, rng_from_seed};
 pub use topology::{normalize_adjacency, Adjacency, DirectAddressing, Topology};
 pub use trace::{Event, EventKind, Trace};
+pub use traffic::{RumorStatus, TrafficConfig, TrafficPlan};
 pub use wire::{header_bits, id_bits, Wire};

@@ -13,6 +13,18 @@
 //!   header (sender+receiver IDs) plus its payload size;
 //! * **`Δ` / fan-in** — the maximum number of communications one node
 //!   participates in within one round.
+//!
+//! # Accounting under message loss
+//!
+//! The **sender pays** for every message it actually put on the wire,
+//! delivered or not: a lost push and a lost pull request are charged to
+//! `messages`/`bits` like delivered ones, and a pull reply that the
+//! responder *sent* but the link dropped is charged too
+//! (`messages`/`bits`/`pull_replies`/`payload_messages`). What is *not*
+//! charged is a reply that was never sent — when the pull request itself
+//! was lost in transit, the responder stayed silent, exactly like a
+//! request to a dead node. Receiver-side accounting (`fan-in`) counts
+//! only messages that arrived.
 
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +68,18 @@ pub struct Metrics {
     /// Maximum degree of the installed contact graph; 0 on the complete
     /// graph.
     pub topology_max_degree: u64,
+    /// Workload rumors activated so far by the traffic plan (see
+    /// [`crate::TrafficConfig`]); 0 when no workload is attached.
+    pub rumors_started: u64,
+    /// Workload rumors that reached every alive node (each counted once,
+    /// at the round it completed).
+    pub rumors_completed: u64,
+    /// Workload rumor payloads piggybacked on delivered pushes and pull
+    /// replies (each transfer charges the rumor size to `bits`).
+    pub rumor_payloads: u64,
+    /// Workload rumor transfers suppressed by the per-node per-round
+    /// bandwidth budget (see [`crate::TrafficConfig::bandwidth`]).
+    pub budget_drops: u64,
     /// Per-round breakdown (always recorded; one small struct per round).
     pub per_round: Vec<RoundStats>,
 }
@@ -99,6 +123,10 @@ impl Metrics {
         // densest phase's values.
         self.topology_edges = self.topology_edges.max(other.topology_edges);
         self.topology_max_degree = self.topology_max_degree.max(other.topology_max_degree);
+        self.rumors_started += other.rumors_started;
+        self.rumors_completed += other.rumors_completed;
+        self.rumor_payloads += other.rumor_payloads;
+        self.budget_drops += other.budget_drops;
         self.per_round.extend(other.per_round.iter().copied());
     }
 }
@@ -133,6 +161,8 @@ mod tests {
             messages: 10,
             bits: 100,
             max_fan_in: 3,
+            rumors_started: 4,
+            rumors_completed: 2,
             ..Default::default()
         };
         let b = Metrics {
@@ -140,6 +170,10 @@ mod tests {
             messages: 5,
             bits: 50,
             max_fan_in: 7,
+            rumors_started: 1,
+            rumors_completed: 1,
+            rumor_payloads: 9,
+            budget_drops: 3,
             ..Default::default()
         };
         a.absorb(&b);
@@ -147,6 +181,10 @@ mod tests {
         assert_eq!(a.messages, 15);
         assert_eq!(a.bits, 150);
         assert_eq!(a.max_fan_in, 7);
+        assert_eq!(a.rumors_started, 5, "workload counters flow additively");
+        assert_eq!(a.rumors_completed, 3);
+        assert_eq!(a.rumor_payloads, 9);
+        assert_eq!(a.budget_drops, 3);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::metrics::{Metrics, RoundStats};
 use crate::rng::{derive_seed, rng_from_seed};
 use crate::topology::{Adjacency, DirectAddressing, Topology};
 use crate::trace::{Event, EventKind, Trace};
+use crate::traffic::{RumorStatus, TrafficConfig, TrafficPlan};
 use crate::wire::{header_bits, Wire};
 
 /// Read-only view of a node handed to the `decide` closure.
@@ -75,6 +76,10 @@ pub struct Network<S> {
     /// [`Topology`] / [`Self::set_topology`]). `None` — the complete
     /// graph — keeps the engine on its original sampling path.
     topo: Option<TopologyView>,
+    /// The multi-rumor workload, if one is attached (see
+    /// [`TrafficConfig`] / [`Self::set_traffic`]): rumors arrive at the
+    /// round boundary and piggyback on delivered payload messages.
+    traffic: Option<TrafficPlan>,
     // Scratch buffers reused across rounds to avoid per-round allocation.
     fan_in: Vec<u32>,
     /// Nodes contacted this round (initiations + incoming deliveries):
@@ -119,6 +124,15 @@ struct Scratch<M> {
     pull_src: Vec<u32>,
     /// Resolved pull destinations, parallel to `pull_src`.
     pull_dst: Vec<u32>,
+    /// Per-pull *request-leg* loss verdicts (empty when the loss knob is
+    /// zero, like `push_lost`). A lost request never reaches the
+    /// responder: no reply, no pulled-by notification, no responder-side
+    /// fan-in.
+    pull_req_lost: Vec<bool>,
+    /// Per-pull *reply-leg* loss verdicts, parallel to `pull_req_lost`.
+    /// A lost reply was still sent — the responder is charged for it —
+    /// but the puller never receives it.
+    pull_rep_lost: Vec<bool>,
     /// Pull responses, parallel to `pull_src`.
     responses: Vec<Option<M>>,
 }
@@ -132,6 +146,8 @@ impl<M> Scratch<M> {
             push_lost: Vec::new(),
             pull_src: Vec::new(),
             pull_dst: Vec::new(),
+            pull_req_lost: Vec::new(),
+            pull_rep_lost: Vec::new(),
             responses: Vec::new(),
         }
     }
@@ -143,6 +159,8 @@ impl<M> Scratch<M> {
         self.push_lost.clear();
         self.pull_src.clear();
         self.pull_dst.clear();
+        self.pull_req_lost.clear();
+        self.pull_rep_lost.clear();
         self.responses.clear();
     }
 
@@ -163,8 +181,14 @@ impl<M> Scratch<M> {
                 col.reserve_exact(n - col.len());
             }
         }
-        if self.push_lost.capacity() < n {
-            self.push_lost.reserve_exact(n - self.push_lost.len());
+        for col in [
+            &mut self.push_lost,
+            &mut self.pull_req_lost,
+            &mut self.pull_rep_lost,
+        ] {
+            if col.capacity() < n {
+                col.reserve_exact(n - col.len());
+            }
         }
     }
 }
@@ -262,6 +286,7 @@ impl<S> Network<S> {
             loss: 0.0,
             churn: None,
             topo: None,
+            traffic: None,
             fan_in: vec![0; n],
             touched: BitSet::new(n),
             scratch: ScratchCell::default(),
@@ -341,6 +366,42 @@ impl<S> Network<S> {
     #[must_use]
     pub fn topology_adjacency(&self) -> Option<&Adjacency> {
         self.topo.as_ref().map(|t| &t.adj)
+    }
+
+    /// Attaches the multi-rumor workload (see [`TrafficConfig`]): K
+    /// rumors arrive at seeded random `(node, round)` pairs over
+    /// subsequent [`Self::round`] calls and piggyback on the payload
+    /// messages the running algorithm delivers, under the config's
+    /// per-node per-round bandwidth budget. Each piggybacked transfer
+    /// charges `rumor_bits` extra payload bits to the carrying message.
+    /// The arrival plan is generated here, once, from its own random
+    /// stream derived from `seed` — the engine RNG draws exactly what
+    /// it always drew. An inert config ([`TrafficConfig::is_active`]
+    /// false) detaches any plan, leaving the run bit-identical to one
+    /// that never called this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`TrafficConfig::validate`].
+    pub fn set_traffic(&mut self, cfg: TrafficConfig, rumor_bits: u64, seed: u64) {
+        self.traffic = cfg
+            .is_active()
+            .then(|| TrafficPlan::new(cfg, self.len(), rumor_bits, seed));
+    }
+
+    /// The attached workload plan, if any.
+    #[must_use]
+    pub fn traffic_plan(&self) -> Option<&TrafficPlan> {
+        self.traffic.as_ref()
+    }
+
+    /// Per-rumor final status of the attached workload, in arrival
+    /// order (empty when no workload is attached).
+    #[must_use]
+    pub fn traffic_summary(&self) -> Vec<RumorStatus> {
+        self.traffic
+            .as_ref()
+            .map_or_else(Vec::new, |tp| tp.summary())
     }
 
     /// The direct-addressing mode in force ([`DirectAddressing::Overlay`]
@@ -526,6 +587,14 @@ impl<S> Network<S> {
             }
         }
 
+        // Phase 0b: the workload (if any) moves at the round boundary
+        // too — the bandwidth ledger resets and due rumors arrive at
+        // their origins (whether or not those are alive right now:
+        // state-intact semantics, like churn recoveries).
+        if let Some(tp) = self.traffic.as_mut() {
+            self.metrics.rumors_started += u64::from(tp.begin_round(self.round));
+        }
+
         // Reset the fan-in counters sparsely: only nodes whose `touched`
         // bit was set last round can hold a nonzero counter, so zero 64
         // counters per set word instead of streaming all n.
@@ -623,20 +692,27 @@ impl<S> Network<S> {
         }
 
         // Phase 2: compute pull responses from start-of-round state
-        // (address-oblivious; one response per responder per round). A
-        // lost request or lost reply surfaces identically to the puller:
-        // no response arrives.
+        // (address-oblivious; one response per responder per round). The
+        // two legs of a pull fail independently and mean different
+        // things: a lost *request* never reaches the responder (no
+        // reply, no pulled-by notification, no responder-side fan-in),
+        // while a lost *reply* was sent — and paid for — but never
+        // arrives. Both surface identically to the puller.
         for k in 0..scratch.pull_dst.len() {
             let d = scratch.pull_dst[k] as usize;
             // Both legs are sampled unconditionally so the number of RNG
             // draws never depends on the first draw's outcome — the
-            // stream stays stable under loss-model refactors.
-            let lost = loss > 0.0 && {
-                let request_lost = self.rng.gen_bool(loss);
-                let reply_lost = self.rng.gen_bool(loss);
-                request_lost | reply_lost
-            };
-            let resp = if self.alive.get(d) && !lost {
+            // stream stays stable under loss-model refactors. No draws
+            // at all when the knob is zero (the verdict columns stay
+            // empty, keeping loss-free runs bit-identical).
+            let mut req_lost = false;
+            if loss > 0.0 {
+                req_lost = self.rng.gen_bool(loss);
+                let rep_lost = self.rng.gen_bool(loss);
+                scratch.pull_req_lost.push(req_lost);
+                scratch.pull_rep_lost.push(rep_lost);
+            }
+            let resp = if self.alive.get(d) && !req_lost {
                 respond(&self.states[d])
             } else {
                 None
@@ -662,7 +738,21 @@ impl<S> Network<S> {
             let src = NodeIdx(sc.push_src[k]);
             let dst = NodeIdx(sc.push_dst[k]);
             let d = dst.as_usize();
-            let bits = self.header_bits + msg.size_bits();
+            let alive = self.alive.get(d);
+            let lost = !sc.push_lost.is_empty() && sc.push_lost[k];
+            let delivered = alive && !lost;
+            // The workload piggybacks on delivered payload messages:
+            // whatever transfers rides this push and widens it by
+            // `rumor_bits` per rumor carried.
+            let mut bits = self.header_bits + msg.size_bits();
+            if delivered {
+                if let Some(tp) = self.traffic.as_mut() {
+                    let t = tp.on_payload(src.0, dst.0);
+                    bits += u64::from(t.transferred) * tp.rumor_bits();
+                    self.metrics.rumor_payloads += u64::from(t.transferred);
+                    self.metrics.budget_drops += u64::from(t.dropped);
+                }
+            }
             stats.messages += 1;
             stats.bits += bits;
             self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
@@ -670,14 +760,20 @@ impl<S> Network<S> {
             self.metrics.payload_messages += 1;
             self.fan_in[d] += 1;
             self.touched.set(d);
-            let lost = !sc.push_lost.is_empty() && sc.push_lost[k];
-            if self.alive.get(d) && !lost {
-                self.trace.record(Event {
-                    round: self.round,
-                    from: src,
-                    to: dst,
-                    kind: EventKind::Push,
-                });
+            let kind = if delivered {
+                EventKind::Push
+            } else if alive {
+                EventKind::DroppedLost
+            } else {
+                EventKind::DroppedDead
+            };
+            self.trace.record(Event {
+                round: self.round,
+                from: src,
+                to: dst,
+                kind,
+            });
+            if delivered {
                 deliver(
                     &mut self.states[d],
                     Delivery::Push {
@@ -685,13 +781,6 @@ impl<S> Network<S> {
                         msg,
                     },
                 );
-            } else {
-                self.trace.record(Event {
-                    round: self.round,
-                    from: src,
-                    to: dst,
-                    kind: EventKind::DroppedDead,
-                });
             }
         }
 
@@ -699,43 +788,80 @@ impl<S> Network<S> {
         for (k, reply) in sc.responses.drain(..).enumerate() {
             let src = NodeIdx(sc.pull_src[k]);
             let dst = NodeIdx(sc.pull_dst[k]);
-            // The request itself: header-only message.
+            let req_lost = !sc.pull_req_lost.is_empty() && sc.pull_req_lost[k];
+            let rep_lost = !sc.pull_rep_lost.is_empty() && sc.pull_rep_lost[k];
+            // The request itself: header-only, sender-paid whether or
+            // not it arrives — but a request lost in transit never
+            // reaches the responder, so it charges no responder-side
+            // fan-in and is traced as a drop, not a pull.
             stats.messages += 1;
             stats.bits += self.header_bits;
             self.metrics.pull_requests += 1;
-            self.fan_in[dst.as_usize()] += 1;
-            self.touched.set(dst.as_usize());
-            self.trace.record(Event {
-                round: self.round,
-                from: src,
-                to: dst,
-                kind: EventKind::PullRequest,
-            });
+            if req_lost {
+                self.trace.record(Event {
+                    round: self.round,
+                    from: src,
+                    to: dst,
+                    kind: EventKind::DroppedLost,
+                });
+            } else {
+                self.fan_in[dst.as_usize()] += 1;
+                self.touched.set(dst.as_usize());
+                self.trace.record(Event {
+                    round: self.round,
+                    from: src,
+                    to: dst,
+                    kind: EventKind::PullRequest,
+                });
+            }
             if let Some(msg) = reply {
-                let bits = self.header_bits + msg.size_bits();
+                // A reply exists only if the request arrived (phase 2);
+                // the responder sent it, so it is charged in full even
+                // when the return leg drops it.
+                let delivered = !rep_lost;
+                let mut bits = self.header_bits + msg.size_bits();
+                if delivered {
+                    if let Some(tp) = self.traffic.as_mut() {
+                        let t = tp.on_payload(dst.0, src.0);
+                        bits += u64::from(t.transferred) * tp.rumor_bits();
+                        self.metrics.rumor_payloads += u64::from(t.transferred);
+                        self.metrics.budget_drops += u64::from(t.dropped);
+                    }
+                }
                 stats.messages += 1;
                 stats.bits += bits;
                 self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
                 self.metrics.pull_replies += 1;
                 self.metrics.payload_messages += 1;
-                self.trace.record(Event {
-                    round: self.round,
-                    from: dst,
-                    to: src,
-                    kind: EventKind::PullReply,
-                });
-                deliver(
-                    &mut self.states[src.as_usize()],
-                    Delivery::PullReply {
-                        from: self.ids.id_of(dst),
-                        msg,
-                    },
-                );
+                if delivered {
+                    self.trace.record(Event {
+                        round: self.round,
+                        from: dst,
+                        to: src,
+                        kind: EventKind::PullReply,
+                    });
+                    deliver(
+                        &mut self.states[src.as_usize()],
+                        Delivery::PullReply {
+                            from: self.ids.id_of(dst),
+                            msg,
+                        },
+                    );
+                } else {
+                    self.trace.record(Event {
+                        round: self.round,
+                        from: dst,
+                        to: src,
+                        kind: EventKind::DroppedLost,
+                    });
+                }
             }
         }
         for k in 0..sc.pull_src.len() {
             let d = sc.pull_dst[k] as usize;
-            if self.alive.get(d) {
+            let req_lost = !sc.pull_req_lost.is_empty() && sc.pull_req_lost[k];
+            // A node is only pulled by requests that actually arrived.
+            if self.alive.get(d) && !req_lost {
                 deliver(
                     &mut self.states[d],
                     Delivery::PulledBy(self.ids.id_of(NodeIdx(sc.pull_src[k]))),
@@ -743,6 +869,14 @@ impl<S> Network<S> {
             }
         }
         self.scratch.put(scratch);
+
+        // End-of-round workload step: a rumor completes once every
+        // alive node knows it (checked after all deliveries, so a rumor
+        // can arrive, spread and complete within one round on a tiny
+        // network).
+        if let Some(tp) = self.traffic.as_mut() {
+            self.metrics.rumors_completed += u64::from(tp.end_round(self.round, &self.alive));
+        }
 
         // The fan-in maximum only needs the touched nodes — untouched
         // counters are zero by the sparse-reset invariant.
@@ -1222,6 +1356,193 @@ mod tests {
                 NodeIdx(0)
             );
         }
+    }
+
+    #[test]
+    fn lost_pull_request_suppresses_pulled_by() {
+        // Bugfix: with the request lost in transit the responder never
+        // learns it was pulled — the old engine collapsed both loss legs
+        // into one verdict and notified unconditionally.
+        let mut net: Network<St> = Network::new(16, 30);
+        net.set_message_loss(1.0);
+        net.round(
+            |_ctx, _rng| Action::<Unit>::Pull { to: Target::Random },
+            |_s| Some(Unit),
+            |s, d| {
+                if matches!(d, Delivery::PulledBy(_)) {
+                    s.pulled_by += 1;
+                }
+            },
+        );
+        let pulled: u32 = net.states().iter().map(|s| s.pulled_by).sum();
+        assert_eq!(pulled, 0, "no request arrived, so nobody was pulled");
+        assert_eq!(net.metrics().pull_requests, 16, "senders still paid");
+        assert_eq!(net.metrics().pull_replies, 0, "nobody answered");
+        assert_eq!(
+            net.metrics().max_fan_in,
+            1,
+            "initiations only: a lost request charges no responder fan-in"
+        );
+    }
+
+    #[test]
+    fn lost_push_to_alive_node_traces_dropped_lost() {
+        // Bugfix: a loss-dropped push to an alive node used to be traced
+        // as DroppedDead, indistinguishable from a dead destination.
+        let mut net: Network<St> = Network::new(8, 31);
+        net.set_message_loss(1.0);
+        net.enable_trace(100);
+        everyone_pushes(&mut net);
+        assert_eq!(net.trace().events().len(), 8);
+        assert!(
+            net.trace()
+                .events()
+                .iter()
+                .all(|e| e.kind == EventKind::DroppedLost),
+            "alive destination + bad link = DroppedLost"
+        );
+        // A dead destination still traces DroppedDead, lossy link or not.
+        let mut net: Network<St> = Network::new(2, 31);
+        net.apply_failures(&FailurePlan::explicit(vec![NodeIdx(1)]));
+        net.enable_trace(10);
+        everyone_pushes(&mut net);
+        assert_eq!(net.trace().events()[0].kind, EventKind::DroppedDead);
+    }
+
+    #[test]
+    fn sent_but_lost_reply_is_charged() {
+        // Bugfix: a reply the responder sent but the link dropped used to
+        // vanish from the books entirely. Post-fix, every request that
+        // *arrives* at an always-answering alive responder produces a
+        // charged reply — exactly as many replies as pulled-by
+        // notifications — even though only the surviving ones deliver.
+        let n = 2000;
+        let mut net: Network<St> = Network::new(n, 32);
+        net.set_message_loss(0.5);
+        net.round(
+            |_ctx, _rng| Action::<Unit>::Pull { to: Target::Random },
+            |_s| Some(Unit),
+            |s, d| match d {
+                Delivery::PullReply { .. } => s.replies += 1,
+                Delivery::PulledBy(_) => s.pulled_by += 1,
+                Delivery::Push { .. } => {}
+            },
+        );
+        let pulled: u64 = net.states().iter().map(|s| u64::from(s.pulled_by)).sum();
+        let delivered: u64 = net.states().iter().map(|s| u64::from(s.replies)).sum();
+        assert_eq!(
+            net.metrics().pull_replies,
+            pulled,
+            "every arrived request was answered and the answer charged"
+        );
+        // ~50% of requests arrive; the old engine charged only the ~25%
+        // of pulls where both legs survived.
+        assert!(
+            (800..=1200).contains(&pulled),
+            "~half the requests arrive, got {pulled}"
+        );
+        assert!(
+            delivered < net.metrics().pull_replies,
+            "some charged replies were lost in flight ({delivered} delivered)"
+        );
+    }
+
+    #[test]
+    fn inert_traffic_changes_nothing() {
+        let run = |attach_inert: bool| {
+            let mut net: Network<St> = Network::new(64, 33);
+            if attach_inert {
+                net.set_traffic(TrafficConfig::default(), 256, 999);
+            }
+            for _ in 0..6 {
+                everyone_pushes(&mut net);
+            }
+            (
+                net.metrics().clone(),
+                net.states().iter().map(|s| s.pushes).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true), "inert configs must not perturb");
+    }
+
+    #[test]
+    fn traffic_piggybacks_on_pushes_and_completes() {
+        // One rumor, everyone pushing every round: the rumor must reach
+        // all 32 nodes quickly, each hop riding an existing push (extra
+        // bits, no extra messages).
+        let mut net: Network<St> = Network::new(32, 34);
+        net.set_traffic(
+            TrafficConfig {
+                rumors: 1,
+                arrival_rate: 1.0,
+                ..TrafficConfig::default()
+            },
+            256,
+            7,
+        );
+        let mut base_messages = 0;
+        for _ in 0..40 {
+            base_messages += everyone_pushes(&mut net).messages;
+        }
+        let m = net.metrics();
+        assert_eq!(m.rumors_started, 1);
+        assert_eq!(m.rumors_completed, 1, "32 nodes, 40 full-push rounds");
+        assert_eq!(
+            m.rumor_payloads, 31,
+            "each non-origin node learned it exactly once"
+        );
+        assert_eq!(m.messages, base_messages, "piggybacking adds no messages");
+        let s = net.traffic_summary();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].informed, 32);
+        assert!(s[0].latency().is_some());
+    }
+
+    #[test]
+    fn traffic_bandwidth_budget_counts_drops() {
+        // 8 rumors all front-loaded, budget 1: contention must show up
+        // as budget drops, and completion still happens eventually.
+        let mut net: Network<St> = Network::new(16, 35);
+        net.set_traffic(
+            TrafficConfig {
+                rumors: 8,
+                arrival_rate: 100.0,
+                bandwidth: 1,
+                ..TrafficConfig::default()
+            },
+            256,
+            8,
+        );
+        for _ in 0..200 {
+            everyone_pushes(&mut net);
+        }
+        let m = net.metrics();
+        assert_eq!(m.rumors_started, 8);
+        assert_eq!(m.rumors_completed, 8, "budget delays, not prevents");
+        assert!(m.budget_drops > 0, "8 rumors over budget-1 links contend");
+    }
+
+    #[test]
+    fn traffic_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net: Network<St> = Network::new(64, 36);
+            net.set_traffic(
+                TrafficConfig {
+                    rumors: 5,
+                    arrival_rate: 0.8,
+                    bandwidth: 2,
+                    ..TrafficConfig::default()
+                },
+                128,
+                seed,
+            );
+            for _ in 0..30 {
+                everyone_pushes(&mut net);
+            }
+            (net.metrics().clone(), net.traffic_summary())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub enum EventKind {
     PullReply,
     /// A message addressed to a failed node was dropped.
     DroppedDead,
+    /// A message to an *alive* node was dropped in transit by message
+    /// loss (the independent loss knob or a burst): a push that never
+    /// arrived, a pull request lost on the way to its responder, or a
+    /// pull reply sent but lost on the way back. Distinct from
+    /// [`EventKind::DroppedDead`] so trace-based tests (e.g. topology
+    /// edge confinement) can tell a dead destination from a bad link.
+    DroppedLost,
 }
 
 /// One traced communication event.

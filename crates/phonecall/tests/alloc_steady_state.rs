@@ -10,9 +10,11 @@
 //! and asserts exactly that — for the base engine, with the dynamic
 //! adversary attached, with a `RandomRegular` topology installed
 //! (neighbor sampling scans the CSR adjacency built once at install
-//! time; it must never allocate per round), and at `n = 2^20` — the
-//! struct-of-arrays engine sizes its columns once at construction, so
-//! the zero must be scale-independent.
+//! time; it must never allocate per round), with the multi-rumor
+//! workload multiplexed over churn and a topology at once (the K known
+//! masks, active list and budget ledger are all sized at install time),
+//! and at `n = 2^20` — the struct-of-arrays engine sizes its columns
+//! once at construction, so the zero must be scale-independent.
 //!
 //! It lives in its own integration-test binary (one `#[test]` function)
 //! so no concurrently running test can pollute the allocation counter —
@@ -23,7 +25,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use phonecall::{Action, ChurnConfig, Delivery, DirectAddressing, Network, Target, Topology};
+use phonecall::{
+    Action, ChurnConfig, Delivery, DirectAddressing, Network, Target, Topology, TrafficConfig,
+};
 
 thread_local! {
     /// Allocation-path calls made by *this* thread. Const-initialized so
@@ -176,6 +180,41 @@ fn round_loop_does_not_allocate_in_steady_state() {
         "the constrained network must actually have trafficked"
     );
 
+    // Same contract with the multi-rumor workload multiplexed on top of
+    // churn *and* a topology: the arrival plan is pre-generated, the K
+    // known masks and the active list are sized at install time, and
+    // the budget ledger resets sparsely — so rumors arriving, spreading
+    // and completing inside the measured window must cost zero
+    // allocations too.
+    let mut loaded: Network<St> = Network::new(1 << 10, 46);
+    loaded.set_topology(Topology::RandomRegular(8), DirectAddressing::Overlay, 8);
+    loaded.set_churn(
+        ChurnConfig {
+            crash_rate: 0.5,
+            batch_size: 8,
+            recovery_rate: 0.3,
+            ..ChurnConfig::default()
+        },
+        102,
+    );
+    loaded.set_traffic(
+        TrafficConfig {
+            rumors: 32,
+            arrival_rate: 2.0,
+            bandwidth: 2,
+            ..TrafficConfig::default()
+        },
+        128,
+        103,
+    );
+    assert_steady_state_is_allocation_free(&mut loaded, "traffic-enabled");
+    let m = loaded.metrics();
+    assert_eq!(m.rumors_started, 32, "every arrival fell in the window");
+    assert!(
+        m.rumor_payloads > 0 && m.budget_drops > 0 && m.crashes > 0,
+        "the workload must actually have trafficked for the zero to mean anything"
+    );
+
     // The million-node contract: the bitset/SoA engine sizes every
     // per-node column (alive words, fan-in counters, scratch push/pull
     // columns) once at construction, so the same zero must hold at
@@ -192,10 +231,19 @@ fn round_loop_does_not_allocate_in_steady_state() {
         },
         101,
     );
+    huge.set_traffic(
+        TrafficConfig {
+            rumors: 16,
+            arrival_rate: 8.0,
+            ..TrafficConfig::default()
+        },
+        128,
+        104,
+    );
     assert_rounds_allocation_free(&mut huge, "million-node", 4);
     let m = huge.metrics();
     assert!(
-        m.pushes > (1 << 18) && m.pull_requests > 0 && m.crashes > 0,
+        m.pushes > (1 << 18) && m.pull_requests > 0 && m.crashes > 0 && m.rumor_payloads > 0,
         "the million-node network must actually have trafficked"
     );
 }

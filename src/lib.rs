@@ -13,7 +13,8 @@
 //! * [`phonecall`] — the simulator substrate: synchronous rounds, one
 //!   initiated PUSH/PULL per node, random or direct targets,
 //!   address-oblivious responses, message/bit/fan-in accounting,
-//!   oblivious failures.
+//!   oblivious failures, dynamic churn, communication topologies and the
+//!   multi-rumor traffic workload.
 //! * [`core`] (crate `gossip-core`) — clusterings, the Section 3.2
 //!   coordination primitives, and Algorithms 1–4 (`Cluster1`, `Cluster2`,
 //!   `Cluster3`, `ClusterPushPull`).
@@ -95,6 +96,6 @@ pub mod prelude {
     pub use gossip_lowerbound::estimate_success;
     pub use phonecall::{
         Adjacency, ChurnConfig, DirectAddressing, FailurePlan, Metrics, Network, NodeId, NodeIdx,
-        Topology,
+        RumorStatus, Topology, TrafficConfig,
     };
 }

@@ -134,29 +134,36 @@ fn canonical_churn() -> phonecall::ChurnConfig {
 /// churn scenario at `n = 256, seed ∈ {1, 7}`. Unlike the loss-free grid
 /// these runs are *not* required to succeed (churn is allowed to strand
 /// survivors); the digests pin whatever behavior the adversary produces.
+///
+/// Re-pinned when sent-but-lost pull replies started being charged to
+/// `messages`/`bits` (the sender pays for a reply the network drops):
+/// only those two columns moved — every `rounds`/`informed` entry is
+/// unchanged because delivery outcomes and the RNG stream were not
+/// touched, which is exactly the invariant the re-pin was checked
+/// against.
 #[rustfmt::skip]
 const CHURN_GOLDEN: &[Golden] = &[
     // (algo, n, seed, rounds, messages, bits, informed)
-    ("Cluster2", 256, 1, 75, 10163, 504512, 256),
-    ("Cluster2", 256, 7, 75, 7521, 388674, 256),
-    ("Cluster1", 256, 1, 49, 10479, 523695, 256),
-    ("Cluster1", 256, 7, 49, 8434, 431317, 256),
-    ("AvinElsasser", 256, 1, 52, 4944, 741411, 256),
-    ("AvinElsasser", 256, 7, 52, 4889, 771017, 256),
-    ("Karp", 256, 1, 26, 2654, 496192, 249),
-    ("Karp", 256, 7, 26, 2684, 427168, 250),
+    ("Cluster2", 256, 1, 75, 10188, 505878, 256),
+    ("Cluster2", 256, 7, 75, 7533, 389262, 256),
+    ("Cluster1", 256, 1, 49, 10634, 531290, 256),
+    ("Cluster1", 256, 7, 49, 8469, 433032, 256),
+    ("AvinElsasser", 256, 1, 52, 4991, 753513, 256),
+    ("AvinElsasser", 256, 7, 52, 4933, 783689, 256),
+    ("Karp", 256, 1, 26, 2656, 496832, 249),
+    ("Karp", 256, 7, 26, 2705, 433888, 250),
     ("PushPull", 256, 1, 7, 1917, 262656, 246),
-    ("PushPull", 256, 7, 9, 2431, 346496, 255),
+    ("PushPull", 256, 7, 9, 2452, 353216, 255),
     ("Push", 256, 1, 14, 1350, 432000, 247),
     ("Push", 256, 7, 14, 1313, 420160, 247),
-    ("Pull", 256, 1, 13, 2252, 144640, 249),
-    ("Pull", 256, 7, 15, 3064, 170336, 249),
-    ("Cluster3", 256, 1, 108, 14347, 708220, 256),
-    ("Cluster3", 256, 7, 108, 13134, 662531, 256),
-    ("ClusterPushPull", 256, 1, 156, 17529, 1406268, 256),
-    ("ClusterPushPull", 256, 7, 156, 16356, 1362883, 256),
+    ("Pull", 256, 1, 13, 2279, 153280, 249),
+    ("Pull", 256, 7, 15, 3066, 170976, 249),
+    ("Cluster3", 256, 1, 108, 14372, 709586, 256),
+    ("Cluster3", 256, 7, 108, 13146, 663119, 256),
+    ("ClusterPushPull", 256, 1, 156, 17554, 1407634, 256),
+    ("ClusterPushPull", 256, 7, 156, 16368, 1363471, 256),
     ("Tree", 256, 1, 2, 502, 88352, 252),
-    ("Tree", 256, 7, 4, 323, 29920, 66),
+    ("Tree", 256, 7, 4, 365, 43360, 66),
     ("NameDropper", 256, 1, 31, 7700, 11128368, 255),
     ("NameDropper", 256, 7, 31, 7750, 13054688, 253),
 ];
@@ -247,6 +254,99 @@ const TOPOLOGY_GOLDEN: &[TopoGolden] = &[
     ("NameDropper", "rr8/overlay", 26, 6656, 10949984, 256),
     ("NameDropper", "ws6/overlay", 26, 6656, 10949984, 256),
 ];
+
+/// One pinned traffic grid point: (algorithm, seed, rounds, messages,
+/// bits, workload rumors completed, piggybacked payloads) at `n = 256`
+/// under the canonical E13 workload.
+type TrafficGolden = (&'static str, u64, u64, u64, u64, usize, u64);
+
+/// Pinned digests for every registered algorithm under the canonical
+/// multi-rumor workload (eight rumors arriving at one per round,
+/// unlimited bandwidth) at `n = 256, seed ∈ {1, 7}`. The workload rides
+/// the algorithms' own messages, so `rounds` matches the loss-free grid
+/// while `bits` grows by the piggybacked payloads; `completed` pins the
+/// workload semantics (a bounded-schedule algorithm may finish before
+/// late arrivals spread) and `payloads` the transfer stream itself.
+#[rustfmt::skip]
+const TRAFFIC_GOLDEN: &[TrafficGolden] = &[
+    // (algo, seed, rounds, messages, bits, completed, payloads)
+    ("Cluster2", 1, 75, 7172, 895679, 8, 2040),
+    ("Cluster2", 7, 75, 7291, 902397, 8, 2040),
+    ("Cluster1", 1, 49, 11740, 1109975, 8, 2040),
+    ("Cluster1", 7, 49, 11169, 1082543, 8, 2040),
+    ("AvinElsasser", 1, 52, 4948, 942593, 0, 525),
+    ("AvinElsasser", 7, 52, 4911, 1096175, 0, 1088),
+    ("Karp", 1, 26, 2721, 606720, 0, 402),
+    ("Karp", 7, 26, 2721, 608928, 0, 504),
+    ("PushPull", 1, 8, 2209, 357376, 0, 68),
+    ("PushPull", 7, 8, 2209, 339872, 0, 93),
+    ("Push", 1, 13, 1251, 565440, 0, 645),
+    ("Push", 7, 13, 1282, 668288, 0, 1008),
+    ("Pull", 1, 12, 2374, 155552, 0, 24),
+    ("Pull", 7, 11, 2186, 145184, 0, 7),
+    ("Cluster3", 1, 108, 12978, 1062778, 4, 1598),
+    ("Cluster3", 7, 108, 12755, 1053526, 5, 1600),
+    ("ClusterPushPull", 1, 156, 16222, 1816826, 6, 1822),
+    ("ClusterPushPull", 7, 156, 15970, 1805878, 7, 1815),
+    ("Tree", 1, 2, 510, 89760, 0, 0),
+    ("Tree", 7, 2, 510, 93856, 0, 16),
+    ("NameDropper", 1, 26, 6656, 11472224, 8, 2040),
+    ("NameDropper", 7, 25, 6400, 10336064, 8, 2040),
+];
+
+fn traffic_grid() -> Vec<(&'static dyn Algorithm, u64)> {
+    let mut g = Vec::new();
+    for &algo in registry::all() {
+        for seed in [1u64, 7] {
+            g.push((algo, seed));
+        }
+    }
+    g
+}
+
+fn traffic_digest(algo: &dyn Algorithm, seed: u64) -> TrafficGolden {
+    let r = algo.run(&Scenario::broadcast(256).seed(seed).rumors(8, 1.0));
+    (
+        algo.name(),
+        seed,
+        r.rounds,
+        r.messages,
+        r.bits,
+        r.rumors_completed(),
+        r.rumor_payloads,
+    )
+}
+
+#[test]
+fn traffic_run_reports_match_golden_digests() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        println!("// traffic grid:");
+        for (algo, seed) in traffic_grid() {
+            let (name, seed, rounds, messages, bits, completed, payloads) =
+                traffic_digest(algo, seed);
+            println!(
+                "    (\"{name}\", {seed}, {rounds}, {messages}, {bits}, {completed}, {payloads}),"
+            );
+        }
+        return;
+    }
+    assert_eq!(
+        TRAFFIC_GOLDEN.len(),
+        traffic_grid().len(),
+        "traffic golden table out of sync with the registry grid; regenerate with GOLDEN_REGEN=1"
+    );
+    for (&(name, seed, rounds, messages, bits, completed, payloads), (algo, gseed)) in
+        TRAFFIC_GOLDEN.iter().zip(traffic_grid())
+    {
+        assert_eq!((name, seed), (algo.name(), gseed), "grid drift");
+        let got = traffic_digest(algo, seed);
+        assert_eq!(
+            got,
+            (name, seed, rounds, messages, bits, completed, payloads),
+            "{name} at seed {seed} drifted from its traffic golden digest"
+        );
+    }
+}
 
 fn topology_grid() -> Vec<(
     &'static dyn Algorithm,

@@ -61,6 +61,51 @@ fn float_sensitive_metrics_are_thread_count_invariant() {
 }
 
 #[test]
+fn loaded_scenarios_are_thread_count_invariant() {
+    // The E13 shape: a multi-rumor workload multiplexed over churn and a
+    // topology at once. The workload's completion count and piggyback
+    // accounting must reassemble bit-identically at every thread count,
+    // just like the single-rumor metrics.
+    let churn = phonecall::ChurnConfig {
+        crash_rate: 0.5,
+        batch_size: 4,
+        recovery_rate: 0.2,
+        burst_enter: 0.15,
+        burst_exit: 0.35,
+        burst_loss: 0.5,
+        start_round: 1,
+        stop_round: Some(24),
+        protected: vec![0],
+        ..phonecall::ChurnConfig::default()
+    };
+    let scenario = Scenario::broadcast(256)
+        .rumors(8, 1.0)
+        .churn(churn)
+        .topology(Topology::RandomRegular(8))
+        .addressing(DirectAddressing::Overlay);
+    for algo in [
+        registry::by_name("ClusterPushPull").unwrap(),
+        registry::by_name("PushPull").unwrap(),
+    ] {
+        let metric = |seed: u64| {
+            let r = algo.run(&scenario.clone().seed(seed));
+            r.rumors_completed() as f64 * 1e6 + r.rumor_payloads as f64 + r.throughput()
+        };
+        let seq = run_trials_seq(0xE13, algo.name(), 9, metric);
+        assert!(seq.mean > 0.0, "{} carried no workload", algo.name());
+        for threads in THREAD_COUNTS {
+            let par = run_trials_on(threads, 0xE13, algo.name(), 9, metric);
+            assert_eq!(
+                par,
+                seq,
+                "{} loaded summary diverged at {threads} threads",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn gossip_threads_env_contract_is_documented_default() {
     // The runner must not *require* the env var: with nothing set it
     // falls back to available parallelism and still produces the
