@@ -1,0 +1,36 @@
+//! Regenerates the committed dataset fixtures (`tests/data/*.txt`)
+//! from their seeds — see `phonecall::dataset::fixture`.
+//!
+//! The build environment has no network, so these files stand in for
+//! SNAP downloads; they are byte-deterministic per seed, and CI
+//! regenerates them into a scratch directory and byte-compares against
+//! the committed copies to prove the tree is in sync.
+//!
+//! Usage: `gen_fixtures [dir]` (default `tests/data`).
+
+use std::path::PathBuf;
+
+use phonecall::dataset::fixture;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("tests/data"), PathBuf::from);
+    match fixture::write_all(&dir) {
+        Ok(paths) => {
+            for (f, path) in fixture::catalog().iter().zip(&paths) {
+                println!(
+                    "wrote {} ({} nodes from {}, seed {:#x})",
+                    path.display(),
+                    f.nodes,
+                    f.topology.describe(),
+                    f.seed
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("gen_fixtures: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,8 +13,9 @@
 //! * `--list-algos` — print the registry (name, law, description) and
 //!   exit;
 //! * `--topo <name[:param]>` — override the communication topology
-//!   (case-insensitive, e.g. `random-regular:8`; unknown names exit
-//!   listing the valid ones);
+//!   (case-insensitive, e.g. `random-regular:8`, or `file:<path>` to
+//!   load a SNAP-style edge list; unknown names exit listing the valid
+//!   ones);
 //! * `--list-topos` — print the topology catalog and exit;
 //! * `--n <size>` — replace the size grid with a single `n`;
 //! * `--trials <k>` — override the per-cell trial count.
@@ -327,6 +328,12 @@ mod tests {
             let o = parse_vec(&["--topo", spec]).unwrap();
             assert_eq!(o.topo, Some(Topology::WattsStrogatz(4, 0.1)), "{spec}");
         }
+        // The file: form keeps its path verbatim (no case folding).
+        let o = parse_vec(&["--topo", "file:tests/data/WS_1k.txt"]).unwrap();
+        assert_eq!(
+            o.topo,
+            Some(Topology::FromFile("tests/data/WS_1k.txt".into()))
+        );
         // ...and the same clean error exit on unknown names.
         assert!(matches!(
             parse_vec(&["--topo", "donutworld"]),

@@ -333,6 +333,9 @@ pub fn topology_params(t: &Topology) -> Value {
                 ),
             ),
         ]),
+        Topology::FromFile(path) => {
+            Value::obj([kind("from_file"), ("path", Value::Str(path.clone()))])
+        }
     }
 }
 
@@ -345,6 +348,7 @@ const TOPOLOGY_KINDS: &[&str] = &[
     "watts_strogatz",
     "preferential_attachment",
     "from_adjacency",
+    "from_file",
 ];
 
 /// Replaces a [`Topology`] from a JSON object (the inverse of
@@ -442,6 +446,19 @@ pub fn apply_topology_params(t: &mut Topology, overrides: &Value) -> Result<(), 
                 }
             };
             (Topology::FromAdjacency(lists), &["adjacency"])
+        }
+        "from_file" => {
+            let path = match knob("path") {
+                Some(Value::Str(p)) => p.clone(),
+                Some(v) => {
+                    return Err(err(format!(
+                        "parameter \"path\" wants a string, got {}",
+                        v.render()
+                    )))
+                }
+                None => return Err(err("topology kind \"from_file\" needs \"path\"".to_string())),
+            };
+            (Topology::FromFile(path), &["path"])
         }
         other => {
             return Err(err(format!(
@@ -1033,6 +1050,7 @@ mod tests {
             Topology::WattsStrogatz(6, 0.25),
             Topology::PreferentialAttachment(3),
             Topology::FromAdjacency(vec![vec![1], vec![0, 2], vec![1]]),
+            Topology::FromFile("tests/data/pa_2k.txt".to_string()),
         ] {
             let doc = topology_params(&topo);
             assert_eq!(Value::parse(&doc.render()).unwrap(), doc, "JSON stable");
@@ -1069,6 +1087,21 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.0.contains("\"p\""), "{e}");
+        let e = apply_topology_params(&mut t, &Value::parse(r#"{"kind": "from_file"}"#).unwrap())
+            .unwrap_err();
+        assert!(e.0.contains("needs \"path\""), "{e}");
+        let e = apply_topology_params(
+            &mut t,
+            &Value::parse(r#"{"kind": "from_file", "path": 7}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("wants a string"), "{e}");
+        let e = apply_topology_params(
+            &mut t,
+            &Value::parse(r#"{"kind": "from_file", "path": ""}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("\"path\""), "{e}");
         assert_eq!(t, Topology::Complete, "failed applies leave the value");
     }
 

@@ -88,9 +88,11 @@ pub fn exact(g: &Graph) -> Option<u32> {
     Some(best)
 }
 
-/// Largest graph for which the exact all-sources scan is used to settle
-/// bound-straddling cases.
-const EXACT_LIMIT: usize = 1 << 15;
+/// Largest graph for which the exact all-sources scan is considered
+/// feasible: [`diameter_at_most`] uses it to settle bound-straddling
+/// cases, and the experiment binaries switch their certified-diameter
+/// columns to the HyperBall estimator past this size.
+pub const EXACT_LIMIT: usize = 1 << 15;
 
 /// Decides `diam(g) ≤ budget`: tries cheap certified bounds first; when
 /// they straddle the budget, falls back to the exact scan for graphs up

@@ -70,9 +70,14 @@ impl Graph {
     /// Sorts and deduplicates all adjacency lists (call once after bulk
     /// insertion), via the validation shared with the simulator's
     /// topology subsystem ([`phonecall::normalize_adjacency`]).
+    ///
+    /// `normalize_adjacency` treats out-of-range indices and self-loops
+    /// as hard errors; both are impossible here because [`Graph::add_edge`]
+    /// indexes `self.adj` (panicking early on a bad vertex) and drops
+    /// `u == v` at insertion — which is what the `expect` records.
     pub fn finish(&mut self) {
-        self.edges =
-            normalize_adjacency(&mut self.adj).expect("Graph::add_edge keeps every index in range");
+        self.edges = normalize_adjacency(&mut self.adj)
+            .expect("Graph::add_edge keeps every index in range and drops self-loops");
     }
 
     /// Maximum vertex degree.
@@ -161,6 +166,23 @@ mod tests {
         );
         let avg_deg = 2.0 * g.edge_count() as f64 / 1000.0;
         assert!((6.0..=8.5).contains(&avg_deg), "avg degree {avg_deg}");
+    }
+
+    #[test]
+    fn add_edge_absorbs_the_input_normalize_rejects() {
+        // `normalize_adjacency` errors on self-loops and dedups
+        // parallel edges; the bridge stays panic-free because loops
+        // die at `add_edge` and duplicates are exactly what `finish`
+        // is for.
+        let mut g = Graph::empty(4);
+        g.add_edge(3, 3); // ignored, not an error here
+        g.add_edge(0, 1);
+        g.add_edge(1, 0); // parallel copy, reversed
+        g.add_edge(0, 1); // parallel copy
+        g.finish();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
     }
 
     #[test]

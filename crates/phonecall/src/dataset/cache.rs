@@ -1,0 +1,204 @@
+//! The binary CSR cache: parse once, load in milliseconds after.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      8 bytes   b"PHONECSR"
+//! version    u32       1
+//! n          u64       node count
+//! half       u64       neighbor entries (2 x undirected edges)
+//! src_len    u64       source file length   } the staleness stamp:
+//! src_mtime  u64       source mtime (secs)  } either changes => reparse
+//! offsets    (n+1) x u32
+//! neighbors  half  x u32
+//! checksum   u64       FNV-1a over bytes [8 .. len-8]
+//! ```
+//!
+//! The checksum covers everything after the magic and before itself,
+//! so a flipped bit anywhere — header, stamp, or payload — invalidates
+//! the cache. Validation failures are soft: `read` returns a
+//! human-readable reason and [`super::load`] falls back to the text
+//! source.
+//!
+//! Writes go to a unique temporary file and are renamed into place, so
+//! concurrent loaders (parallel trials all warming the same cache)
+//! never observe a half-written file.
+
+use std::fs;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::SourceStamp;
+use crate::topology::Adjacency;
+
+const MAGIC: [u8; 8] = *b"PHONECSR";
+const VERSION: u32 = 1;
+/// magic + version + n + half + stamp (len, mtime).
+const HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 8 + 8;
+const CHECKSUM_BYTES: usize = 8;
+
+/// FNV-1a over a byte slice: tiny, dependency-free, and plenty to
+/// catch truncation and bit rot (this is an integrity check, not a
+/// cryptographic one).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Reads and validates the cache at `cpath`. `Ok(None)` means no cache
+/// exists (the silent first-run case); `Err` carries the reason the
+/// existing file cannot be used — corrupt, wrong version, or stale
+/// against `stamp` — and the caller reparses the text source.
+pub(crate) fn read(cpath: &Path, stamp: SourceStamp) -> Result<Option<Adjacency>, String> {
+    let bytes = match fs::read(cpath) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read: {e}")),
+    };
+    if bytes.len() < HEADER_BYTES + CHECKSUM_BYTES {
+        return Err(format!("truncated ({} bytes)", bytes.len()));
+    }
+    if bytes[..8] != MAGIC {
+        return Err("wrong magic (not a csrcache file)".to_string());
+    }
+    let body = &bytes[8..bytes.len() - CHECKSUM_BYTES];
+    let stored = u64_at(&bytes, bytes.len() - CHECKSUM_BYTES);
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(format!(
+            "format version {version} (this build reads {VERSION})"
+        ));
+    }
+    let n = u64_at(&bytes, 12);
+    let half = u64_at(&bytes, 20);
+    let (src_len, src_mtime) = (u64_at(&bytes, 28), u64_at(&bytes, 36));
+    if (src_len, src_mtime) != (stamp.len, stamp.mtime_secs) {
+        return Err(format!(
+            "stale: source was {src_len} bytes @mtime {src_mtime}, is now {} bytes @mtime {}",
+            stamp.len, stamp.mtime_secs
+        ));
+    }
+    let expected = n
+        .checked_add(1)
+        .and_then(|w| w.checked_add(half))
+        .and_then(|w| w.checked_mul(4))
+        .and_then(|p| p.checked_add((HEADER_BYTES + CHECKSUM_BYTES) as u64))
+        .ok_or_else(|| "header sizes overflow".to_string())?;
+    if bytes.len() as u64 != expected {
+        return Err(format!(
+            "size mismatch (header says {expected} bytes, file has {})",
+            bytes.len()
+        ));
+    }
+    let mut at = HEADER_BYTES;
+    let mut take = |count: u64| -> Vec<u32> {
+        let out = bytes[at..at + count as usize * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        at += count as usize * 4;
+        out
+    };
+    let offsets = take(n + 1);
+    let neighbors = take(half);
+    let adj =
+        Adjacency::from_csr(offsets, neighbors).map_err(|e| format!("invalid CSR payload: {e}"))?;
+    Ok(Some(adj))
+}
+
+/// Serializes `adj` to `cpath` (atomically, via a unique temp file),
+/// stamping it against the source file's current `stamp`.
+pub(crate) fn write(cpath: &Path, adj: &Adjacency, stamp: SourceStamp) -> Result<(), String> {
+    let offsets = adj.raw_offsets();
+    let neighbors = adj.raw_neighbors();
+    let mut bytes =
+        Vec::with_capacity(HEADER_BYTES + 4 * (offsets.len() + neighbors.len()) + CHECKSUM_BYTES);
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(adj.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(neighbors.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&stamp.len.to_le_bytes());
+    bytes.extend_from_slice(&stamp.mtime_secs.to_le_bytes());
+    for &x in offsets.iter().chain(neighbors) {
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    let checksum = fnv1a(&bytes[8..]);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+
+    static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+    let serial = TMP_SERIAL.fetch_add(1, Ordering::Relaxed);
+    let mut os = cpath.as_os_str().to_owned();
+    os.push(format!(".tmp-{}-{serial}", std::process::id()));
+    let tmp = std::path::PathBuf::from(os);
+    fs::write(&tmp, &bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, cpath).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        format!("cannot move cache into place: {e}")
+    })
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "phonecall-cache-test-{}-{name}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("g.csrcache")
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let adj = Topology::Ring.build(16, 1).unwrap();
+        let stamp = SourceStamp {
+            len: 7,
+            mtime_secs: 9,
+        };
+        let path = scratch("roundtrip");
+        write(&path, &adj, stamp).unwrap();
+        let back = read(&path, stamp).unwrap().expect("cache exists");
+        assert_eq!(adj, back);
+    }
+
+    #[test]
+    fn missing_cache_is_silent_but_stale_and_corrupt_explain() {
+        let stamp = SourceStamp {
+            len: 7,
+            mtime_secs: 9,
+        };
+        let path = scratch("reasons");
+        assert_eq!(read(&path, stamp).unwrap(), None, "no cache: first run");
+        let adj = Topology::Ring.build(16, 1).unwrap();
+        write(&path, &adj, stamp).unwrap();
+        let grown = SourceStamp {
+            len: 8,
+            mtime_secs: 9,
+        };
+        let err = read(&path, grown).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = read(&path, stamp).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+}

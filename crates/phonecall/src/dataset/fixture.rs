@@ -1,0 +1,196 @@
+//! Deterministic snapshot fixtures: the build environment has no
+//! network, so instead of downloading SNAP archives, CI regenerates
+//! small but realistic edge-list files from seeds and byte-compares
+//! them against the copies committed under `tests/data/`.
+//!
+//! "Realistic" means the files carry everything real downloads do that
+//! a naive parser chokes on: shuffled line order, sparse shuffled node
+//! ids (nothing contiguous, nothing starting at 0), duplicate edge
+//! lines (sometimes reversed), self-loop lines, interior comment
+//! lines, and a mix of tab and space separators. [`render`] is a pure
+//! function of the fixture's seed, so the same catalog entry always
+//! produces the identical bytes — the property the hermetic-CI check
+//! pins.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::rng::{derive_seed, rng_from_seed};
+use crate::topology::Topology;
+
+/// One committed fixture: a named, seeded snapshot recipe.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// Short name used in experiment tables (`pa_2k`).
+    pub name: &'static str,
+    /// File name under `tests/data/`.
+    pub file_name: &'static str,
+    /// Node count handed to the generator.
+    pub nodes: usize,
+    /// The synthetic family the snapshot is drawn from.
+    pub topology: Topology,
+    /// Root seed: graph, id shuffle, and file noise all derive from it.
+    pub seed: u64,
+}
+
+/// The committed fixture catalog. `pa_2k` is the headline heavy-tailed
+/// snapshot (the degree distribution real social graphs have);
+/// `ws_1k` is a rewired small world; `torus_1k` has the largest
+/// certified diameter (32), stressing the HyperBall ±1 check hardest.
+#[must_use]
+pub fn catalog() -> &'static [Fixture] {
+    const CATALOG: &[Fixture] = &[
+        Fixture {
+            name: "pa_2k",
+            file_name: "pa_2k.txt",
+            nodes: 2048,
+            topology: Topology::PreferentialAttachment(4),
+            seed: 0xF1,
+        },
+        Fixture {
+            name: "ws_1k",
+            file_name: "ws_1k.txt",
+            nodes: 1024,
+            topology: Topology::WattsStrogatz(6, 0.1),
+            seed: 0xF2,
+        },
+        Fixture {
+            name: "torus_1k",
+            file_name: "torus_1k.txt",
+            nodes: 1024,
+            topology: Topology::Torus2D,
+            seed: 0xF3,
+        },
+    ];
+    CATALOG
+}
+
+/// Renders the fixture's edge-list file, byte-deterministically from
+/// its seed.
+///
+/// # Panics
+///
+/// Panics if the catalog entry's topology cannot build (a bug in the
+/// catalog, not in the caller).
+#[must_use]
+pub fn render(f: &Fixture) -> String {
+    let adj = f
+        .topology
+        .build(f.nodes, derive_seed(f.seed, 1))
+        .expect("fixture topologies are materialized families");
+    let n = adj.len();
+    let mut rng = rng_from_seed(derive_seed(f.seed, 2));
+    // Sparse shuffled ids: node v appears in the file as ids[v], drawn
+    // without replacement from 1..=10n — non-contiguous and unordered,
+    // like a real crawl.
+    let mut pool: Vec<u64> = (1..=(10 * n) as u64).collect();
+    pool.shuffle(&mut rng);
+    let ids = &pool[..n];
+
+    let mut lines: Vec<String> = Vec::new();
+    for v in 0..n as u32 {
+        for &u in adj.neighbors(v) {
+            if u <= v {
+                continue; // emit each undirected edge once (plus noise)
+            }
+            let (mut a, mut b) = (ids[v as usize], ids[u as usize]);
+            if rng.gen_bool(0.5) {
+                std::mem::swap(&mut a, &mut b);
+            }
+            let sep = if rng.gen_bool(0.25) { '\t' } else { ' ' };
+            lines.push(format!("{a}{sep}{b}"));
+            if rng.gen_bool(0.02) {
+                // Duplicate line, sometimes reversed: both directions
+                // of the same edge show up in real dumps.
+                lines.push(format!("{b}{sep}{a}"));
+            }
+            if rng.gen_bool(0.01) {
+                let s = ids[rng.gen_range(0..n)];
+                lines.push(format!("{s} {s}"));
+            }
+        }
+    }
+    lines.shuffle(&mut rng);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# {}: deterministic gossip fixture (seed {:#x})",
+        f.name, f.seed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# generator: {} on {n} nodes; ids sparse and shuffled",
+        f.topology.describe()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# regenerate byte-identically: gossip-bench's gen_fixtures"
+    )
+    .unwrap();
+    for (i, line) in lines.iter().enumerate() {
+        if i > 0 && i % 1024 == 0 {
+            writeln!(out, "# --- {i} lines in ---").unwrap();
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders every catalog fixture into `dir` (created if needed),
+/// returning the written paths in catalog order.
+///
+/// # Errors
+///
+/// Returns a message naming the path that could not be written.
+pub fn write_all(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create fixture dir {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for f in catalog() {
+        let path = dir.join(f.file_name);
+        fs::write(&path, render(f))
+            .map_err(|e| format!("cannot write fixture {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::parse_edge_list;
+
+    #[test]
+    fn rendering_is_byte_deterministic() {
+        let f = &catalog()[1];
+        assert_eq!(render(f), render(f));
+    }
+
+    #[test]
+    fn fixtures_parse_back_to_the_generated_graph() {
+        for f in catalog() {
+            let text = render(f);
+            let parsed =
+                parse_edge_list(&text).unwrap_or_else(|e| panic!("fixture {}: {e}", f.name));
+            let truth = f.topology.build(f.nodes, derive_seed(f.seed, 1)).unwrap();
+            assert_eq!(parsed.len(), truth.len(), "{}", f.name);
+            assert_eq!(parsed.edge_count(), truth.edge_count(), "{}", f.name);
+            // Relabeling permutes nodes but preserves the degree
+            // multiset — a cheap isomorphism sanity check.
+            let mut da: Vec<usize> = (0..parsed.len() as u32).map(|v| parsed.degree(v)).collect();
+            let mut db: Vec<usize> = (0..truth.len() as u32).map(|v| truth.degree(v)).collect();
+            da.sort_unstable();
+            db.sort_unstable();
+            assert_eq!(da, db, "{}", f.name);
+            assert!(parsed.is_connected(), "{}", f.name);
+        }
+    }
+}

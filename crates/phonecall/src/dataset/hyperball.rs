@@ -1,0 +1,251 @@
+//! A HyperBall-style neighborhood-function / diameter estimator
+//! (Boldi–Rosa–Vigna): one HyperLogLog counter per node, grown by
+//! unioning neighbors' counters once per round, until no register
+//! anywhere changes.
+//!
+//! After round `t`, node `v`'s counter approximates `|B(v, t)|` — the
+//! number of nodes within distance `t`. Registers are monotone (a
+//! union takes per-register maxima), so the process saturates after
+//! exactly `max_v ecc(v)` rounds: the estimated diameter is the last
+//! round in which any register changed. That makes the estimate
+//! one-sided — it **never exceeds** the true diameter — and with the
+//! register counts chosen here (at least ~2 registers per node on the
+//! sizes our tests pin down) the probability that the final
+//! ball-growth events all land on dominated registers is small enough
+//! that the estimate stays within 1 of the truth; the test-suite
+//! cross-checks that against `gossip-lowerbound`'s exact BFS on every
+//! committed fixture and a property-tested family of random graphs.
+//! On graphs past `n = 2^15` — where exact BFS is no longer feasible
+//! and E11's certified-diameter column switches to this estimator —
+//! the register budget is capped by memory and the result is an
+//! ordinary HyperLogLog-quality estimate.
+//!
+//! Determinism: node hashes come from
+//! [`derive_seed`] of `(seed, v)`, so the whole
+//! computation — estimates, saturation round, effective diameter — is
+//! a pure function of `(graph, seed)`.
+//!
+//! Union is word-at-a-time over 8-bit registers packed into `u64`s
+//! (SWAR byte-max), the trick that makes HyperBall practical: a round
+//! is a sequential sweep of CSR rows over flat memory.
+
+use crate::rng::derive_seed;
+use crate::topology::Adjacency;
+
+/// What [`estimate`] reports about a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Estimate {
+    /// The saturation round: the last round in which any register rose.
+    /// Equals `max_v ecc(v)` of the union process — never above the
+    /// true diameter, and within 1 of it with the register budgets our
+    /// tests pin (on connected graphs; per-component otherwise).
+    pub diameter: u32,
+    /// The 90%-effective diameter: the (interpolated) round by which
+    /// the neighborhood function reaches 90% of its final mass.
+    pub effective_diameter: f64,
+    /// `nf[t]`: the estimated number of ordered node pairs within
+    /// distance `t`, for `t = 0..=diameter`.
+    pub neighborhood: Vec<f64>,
+    /// HyperLogLog registers per node (a power of two).
+    pub registers: usize,
+}
+
+/// Picks the per-node register count `2^p`: enough registers that the
+/// saturation round is sharp on test-sized graphs (`p = 12` up to
+/// `n = 2^14`), backing off one power at a time so the whole register
+/// file stays within a 64 MiB budget on huge graphs.
+fn register_exponent(n: usize) -> u32 {
+    let mut p = 12u32;
+    while p > 6 && (n as u64) << p > 1 << 26 {
+        p -= 1;
+    }
+    p
+}
+
+/// Runs HyperBall on `adj` with an automatically sized register file.
+/// Deterministic per `(adj, seed)`.
+///
+/// # Panics
+///
+/// Panics on an empty graph.
+#[must_use]
+pub fn estimate(adj: &Adjacency, seed: u64) -> Estimate {
+    estimate_with_registers(adj, seed, register_exponent(adj.len()))
+}
+
+/// [`estimate`] with an explicit register count of `2^p` per node
+/// (`6 <= p <= 16`): the test-suite uses small `p` to keep debug-mode
+/// property tests fast, and the default path picks `p` by graph size.
+///
+/// # Panics
+///
+/// Panics on an empty graph or a `p` outside `6..=16`.
+#[must_use]
+pub fn estimate_with_registers(adj: &Adjacency, seed: u64, p: u32) -> Estimate {
+    let n = adj.len();
+    assert!(n > 0, "cannot estimate the diameter of an empty graph");
+    assert!(
+        (6..=16).contains(&p),
+        "register exponent {p} outside 6..=16"
+    );
+    let registers = 1usize << p;
+    let words = registers / 8;
+
+    // One flat register file per generation: node v owns words
+    // [v*words, (v+1)*words). 8-bit registers, 8 to a u64.
+    let mut cur = vec![0u64; n * words];
+    for v in 0..n {
+        let h = derive_seed(seed, v as u64);
+        let bucket = (h & (registers as u64 - 1)) as usize;
+        let rest = h >> p;
+        // rho = 1 + trailing zeros of the remaining bits, saturated so
+        // a (vanishingly unlikely) all-zero remainder stays in range.
+        let rho = (rest.trailing_zeros() + 1).min(64 - p) as u64;
+        let word = &mut cur[v * words + bucket / 8];
+        *word |= rho << ((bucket % 8) * 8);
+    }
+    let mut next = cur.clone();
+
+    let mut neighborhood = vec![sum_estimates(&cur, words, n)];
+    let mut diameter = 0u32;
+    loop {
+        next.copy_from_slice(&cur);
+        let mut changed = false;
+        for v in 0..n as u32 {
+            let base = v as usize * words;
+            for &u in adj.neighbors(v) {
+                let ubase = u as usize * words;
+                for w in 0..words {
+                    let old = next[base + w];
+                    let merged = byte_max(old, cur[ubase + w]);
+                    changed |= merged != old;
+                    next[base + w] = merged;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        diameter += 1;
+        std::mem::swap(&mut cur, &mut next);
+        neighborhood.push(sum_estimates(&cur, words, n));
+    }
+
+    let total = *neighborhood.last().unwrap();
+    Estimate {
+        diameter,
+        effective_diameter: effective_diameter(&neighborhood, 0.9 * total),
+        neighborhood,
+        registers,
+    }
+}
+
+/// SWAR byte-wise max of two `u64`s holding eight 8-bit registers.
+#[inline]
+fn byte_max(a: u64, b: u64) -> u64 {
+    const HI: u64 = 0x8080_8080_8080_8080;
+    const LO: u64 = !HI;
+    // Borrow-free per-byte subtract of the low 7 bits: byte `t` has
+    // its top bit set iff `(a & 0x7f) >= (b & 0x7f)` in that lane.
+    let t = (a | HI) - (b & LO);
+    // Full unsigned `a >= b` per byte: when the top bits agree it is
+    // decided by `t`; when they differ, by `a`'s top bit.
+    let ge = ((!(a ^ b) & t) | (a & !b)) & HI;
+    let mask = (ge >> 7) * 0xff; // broadcast: 0xff where a >= b
+    (a & mask) | (b & !mask)
+}
+
+/// Sums the per-node HyperLogLog estimates (each clamped to `n`).
+fn sum_estimates(file: &[u64], words: usize, n: usize) -> f64 {
+    let m = (words * 8) as f64;
+    let alpha = 0.7213 / (1.0 + 1.079 / m);
+    let mut total = 0.0;
+    for v in 0..n {
+        let mut inv_sum = 0.0f64;
+        let mut zeros = 0u32;
+        for &word in &file[v * words..(v + 1) * words] {
+            for byte in word.to_le_bytes() {
+                inv_sum += f64::from_bits((1023u64 - u64::from(byte)) << 52); // 2^-byte
+                zeros += u32::from(byte == 0);
+            }
+        }
+        let mut est = alpha * m * m / inv_sum;
+        if est <= 2.5 * m && zeros > 0 {
+            est = m * (m / f64::from(zeros)).ln(); // small-range correction
+        }
+        total += est.min(n as f64);
+    }
+    total
+}
+
+/// The interpolated first `t` where `nf[t]` reaches `target`.
+fn effective_diameter(nf: &[f64], target: f64) -> f64 {
+    for (t, &hi) in nf.iter().enumerate() {
+        if hi >= target {
+            if t == 0 {
+                return 0.0;
+            }
+            let lo = nf[t - 1];
+            return (t - 1) as f64 + (target - lo) / (hi - lo);
+        }
+    }
+    (nf.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn byte_max_agrees_with_the_scalar_loop() {
+        let mut x: u64 = 0x0123_4567_89ab_cdef;
+        let mut y: u64 = 0xfe00_80ff_7f01_02aa;
+        for _ in 0..64 {
+            let got = byte_max(x, y).to_le_bytes();
+            let (xb, yb) = (x.to_le_bytes(), y.to_le_bytes());
+            for i in 0..8 {
+                assert_eq!(got[i], xb[i].max(yb[i]), "{x:#x} vs {y:#x} byte {i}");
+            }
+            // A cheap deterministic scramble to cover more byte pairs.
+            x = x.rotate_left(13).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            y = y.rotate_right(7) ^ x;
+        }
+    }
+
+    #[test]
+    fn ring_diameter_is_exact() {
+        // Structured worst case: n/2 distinct distances, one new node
+        // per ball per round — every round must register a change.
+        let adj = Topology::Ring.build(32, 1).unwrap();
+        let est = estimate_with_registers(&adj, 7, 8);
+        assert_eq!(est.diameter, 16);
+        assert!(est.effective_diameter <= 16.0);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let adj = Topology::WattsStrogatz(4, 0.2).build(128, 3).unwrap();
+        let a = estimate(&adj, 11);
+        let b = estimate(&adj, 11);
+        assert_eq!(a, b);
+        let c = estimate(&adj, 12);
+        assert_eq!(a.diameter, c.diameter, "diameter is seed-robust here");
+    }
+
+    #[test]
+    fn neighborhood_function_is_monotone_and_saturates() {
+        let adj = Topology::Torus2D.build(64, 1).unwrap();
+        let est = estimate(&adj, 5);
+        for pair in est.neighborhood.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "nf must be non-decreasing");
+        }
+        assert_eq!(est.neighborhood.len() as u32, est.diameter + 1);
+        let total = est.neighborhood.last().unwrap();
+        let full = (64 * 64) as f64;
+        assert!(
+            (total - full).abs() / full < 0.2,
+            "final mass {total} should approximate n^2 = {full}"
+        );
+    }
+}

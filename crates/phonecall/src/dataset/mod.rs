@@ -1,0 +1,125 @@
+//! **Real-graph datasets**: ingesting edge-list snapshots of real
+//! networks into the simulator's CSR [`Adjacency`], with a binary
+//! on-disk cache and a probabilistic diameter estimator.
+//!
+//! Synthetic generators ([`crate::topology`]) answer *"does the
+//! loglog-round advantage survive sparsification?"*; this module asks
+//! it on the graphs that motivated the question — social/web/p2p
+//! snapshots with heavy-tailed degree. Three layers:
+//!
+//! * [`edgelist`] (via [`parse_edge_list`]) reads the de-facto
+//!   interchange format (SNAP): whitespace- or tab-separated node-id
+//!   pairs, `#`/`%` comment lines, CRLF tolerated, arbitrary
+//!   non-contiguous ids. Ids are relabeled densely in first-appearance
+//!   order, duplicate edges are collapsed, self-loop lines dropped —
+//!   the output is a symmetrized, validated [`Adjacency`].
+//! * [`cache`] memoizes the parse as `<path>.csrcache`: a little-endian
+//!   binary CSR with a magic/version header, the source file's
+//!   length+mtime stamp, and an FNV-1a checksum over the payload.
+//!   [`load`] reads the cache when it validates and silently falls
+//!   back to the text source (with a `stderr` warning — `stdout` stays
+//!   byte-identical cold vs warm) when it is missing, stale, or
+//!   corrupt.
+//! * [`hyperball`] estimates the neighborhood function / diameter with
+//!   seeded per-node HyperLogLog counters, because the exact `O(nm)`
+//!   BFS of `gossip-lowerbound` does not survive real graph sizes.
+//!
+//! CI has no network, so [`fixture`] ships a deterministic snapshot
+//! *writer*: seeded, heavy-tailed edge-list files — complete with the
+//! duplicate edges, self-loops, comments and shuffled ids of real
+//! downloads — committed under `tests/data/` and byte-reproducible
+//! from the `gen_fixtures` helper.
+//!
+//! Everything follows the crate's determinism contract: parsing is a
+//! pure function of the file bytes, fixtures and HyperBall are pure
+//! functions of their seeds, and cache hits return bit-identical
+//! graphs to cache misses.
+
+pub mod cache;
+pub mod edgelist;
+pub mod fixture;
+pub mod hyperball;
+
+pub use edgelist::parse_edge_list;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
+
+use crate::topology::Adjacency;
+
+/// The source-file stamp stored in a cache header: enough to notice
+/// the text file changing underneath the cache without hashing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SourceStamp {
+    /// Source file length in bytes.
+    pub len: u64,
+    /// Source mtime as whole seconds since the epoch (0 when the
+    /// filesystem cannot say).
+    pub mtime_secs: u64,
+}
+
+impl SourceStamp {
+    fn of(meta: &fs::Metadata) -> SourceStamp {
+        let mtime_secs = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+            .map_or(0, |d| d.as_secs());
+        SourceStamp {
+            len: meta.len(),
+            mtime_secs,
+        }
+    }
+}
+
+/// Where [`load`] memoizes the parse of `path`: the source path with
+/// `.csrcache` appended (`graph.txt` → `graph.txt.csrcache`), so the
+/// cache lives next to its source and stale ones are easy to spot.
+#[must_use]
+pub fn cache_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".csrcache");
+    PathBuf::from(os)
+}
+
+/// Loads an edge-list snapshot as a CSR [`Adjacency`], through the
+/// binary cache: a valid fresh cache is read directly; otherwise the
+/// text source is parsed and the cache (re)written. Cache problems —
+/// missing, truncated, checksum mismatch, source file changed — are
+/// never fatal and never touch `stdout`: a warning goes to `stderr`
+/// and the text source is authoritative.
+///
+/// Concurrent loaders are safe: the cache is written to a unique
+/// temporary file and atomically renamed into place.
+///
+/// # Errors
+///
+/// Returns a message naming the file and the offending line for an
+/// unreadable source or a malformed edge list.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Adjacency, String> {
+    let path = path.as_ref();
+    let meta =
+        fs::metadata(path).map_err(|e| format!("dataset {}: cannot stat: {e}", path.display()))?;
+    let stamp = SourceStamp::of(&meta);
+    let cpath = cache_path(path);
+    match cache::read(&cpath, stamp) {
+        Ok(Some(adj)) => return Ok(adj),
+        Ok(None) => {} // no cache yet: the silent first-run path
+        Err(reason) => eprintln!(
+            "warning: dataset cache {}: {reason}; re-parsing {}",
+            cpath.display(),
+            path.display()
+        ),
+    }
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("dataset {}: cannot read: {e}", path.display()))?;
+    let adj = parse_edge_list(&text).map_err(|e| format!("dataset {}: {e}", path.display()))?;
+    if let Err(e) = cache::write(&cpath, &adj, stamp) {
+        eprintln!(
+            "warning: dataset cache {}: {e}; continuing uncached",
+            cpath.display()
+        );
+    }
+    Ok(adj)
+}

@@ -60,6 +60,9 @@
 //! [`DirectAddressing::Restricted`], learned-ID calls are confined to
 //! edges too. `Topology::Complete` installs nothing, so complete-graph
 //! runs stay bit-identical to pre-topology builds. See [`topology`].
+//! Real-graph snapshots enter as `Topology::FromFile`: SNAP-style edge
+//! lists parsed, cached in a checksummed binary CSR, and measured with
+//! a HyperBall diameter estimator — see [`dataset`].
 //!
 //! # Determinism
 //!
@@ -106,6 +109,7 @@
 mod action;
 mod bitset;
 mod churn;
+pub mod dataset;
 mod error;
 mod failure;
 mod id;

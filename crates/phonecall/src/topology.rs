@@ -129,9 +129,16 @@ pub enum Topology {
     /// An explicit adjacency list (one neighbor list per node; treated
     /// as undirected and symmetrized). The bridge from
     /// `gossip-lowerbound`'s `Graph` and from any external edge list.
-    /// The only family exempt from the connectivity requirement — a
-    /// supplied graph is used as-is, partitions included.
+    /// Exempt from the connectivity requirement — a supplied graph is
+    /// used as-is, partitions included.
     FromAdjacency(Vec<Vec<u32>>),
+    /// A real-graph snapshot loaded from a SNAP-style edge-list file
+    /// (see [`crate::dataset`]): whitespace-separated node-id pairs,
+    /// `#` comments, arbitrary non-contiguous ids. Parsed once and
+    /// memoized in a binary CSR cache next to the source file. Like
+    /// [`Topology::FromAdjacency`], the snapshot is used as-is —
+    /// exempt from the connectivity requirement.
+    FromFile(String),
 }
 
 /// Attempts per [`Topology::build`] before concluding the knobs cannot
@@ -152,6 +159,7 @@ impl Topology {
             Topology::WattsStrogatz(..) => "WattsStrogatz",
             Topology::PreferentialAttachment(_) => "PreferentialAttachment",
             Topology::FromAdjacency(_) => "FromAdjacency",
+            Topology::FromFile(_) => "FromFile",
         }
     }
 
@@ -220,6 +228,14 @@ impl Topology {
                 }
                 Ok(())
             }
+            Topology::FromFile(path) => {
+                if path.trim().is_empty() {
+                    return Err(
+                        "topology knob \"path\" wants a non-empty edge-list file path".to_string(),
+                    );
+                }
+                Ok(())
+            }
         }
     }
 
@@ -261,6 +277,17 @@ impl Topology {
                 .unwrap_or_else(|e| panic!("invalid topology: {e}"));
             return Some(adj);
         }
+        if let Topology::FromFile(path) = self {
+            let adj =
+                crate::dataset::load(path).unwrap_or_else(|e| panic!("invalid topology: {e}"));
+            assert_eq!(
+                adj.len(),
+                n,
+                "topology knob \"path\": {path:?} describes {} nodes but the network has {n}",
+                adj.len()
+            );
+            return Some(adj);
+        }
         for attempt in 0..BUILD_ATTEMPTS {
             let mut rng = rng_from_seed(derive_seed(seed, attempt));
             let lists = match self {
@@ -274,7 +301,9 @@ impl Topology {
                 Topology::PreferentialAttachment(m) => {
                     Some(preferential_attachment(n, *m as usize, &mut rng))
                 }
-                Topology::Complete | Topology::FromAdjacency(_) => unreachable!(),
+                Topology::Complete | Topology::FromAdjacency(_) | Topology::FromFile(_) => {
+                    unreachable!()
+                }
             };
             if let Some(lists) = lists {
                 let adj = Adjacency::from_lists(lists)
@@ -329,6 +358,7 @@ impl Topology {
             Topology::WattsStrogatz(k, beta) => format!("WattsStrogatz(k={k}, beta={beta})"),
             Topology::PreferentialAttachment(m) => format!("PreferentialAttachment(m={m})"),
             Topology::FromAdjacency(lists) => format!("FromAdjacency({} nodes)", lists.len()),
+            Topology::FromFile(path) => format!("FromFile({path})"),
         }
     }
 
@@ -357,6 +387,10 @@ impl Topology {
                 "preferential-attachment[:m]",
                 "Barabasi-Albert scale-free, m links per arrival (default m = 4)",
             ),
+            (
+                "file:<path>",
+                "SNAP-style edge list loaded from <path> (cached as <path>.csrcache)",
+            ),
         ]
     }
 
@@ -364,7 +398,9 @@ impl Topology {
     /// `:param[,param]` numeric knobs. Name matching is case- and
     /// separator-insensitive (`random-regular:8`, `RandomRegular:8` and
     /// `random_regular:8` agree); omitted knobs take the catalog
-    /// defaults.
+    /// defaults. The one non-numeric spec is `file:<path>`, which loads
+    /// a SNAP-style edge list via [`crate::dataset`]; the path after
+    /// the first `:` is kept verbatim.
     ///
     /// # Errors
     ///
@@ -376,6 +412,14 @@ impl Topology {
             Some((n, p)) => (n, Some(p)),
             None => (spec, None),
         };
+        // `file:` keeps its payload verbatim — a path is case- and
+        // separator-sensitive, unlike the family names (and may itself
+        // contain `:` or `,`), so it bypasses the knob machinery.
+        if name.eq_ignore_ascii_case("file") {
+            let topo = Topology::FromFile(params.unwrap_or("").trim().to_string());
+            topo.validate()?;
+            return Ok(topo);
+        }
         let key: String = name
             .chars()
             .filter(|c| *c != '-' && *c != '_')
@@ -450,11 +494,13 @@ pub struct Adjacency {
 impl Adjacency {
     /// Builds from per-node neighbor lists: bounds-checks every index,
     /// symmetrizes (an edge listed on either endpoint counts for both),
-    /// strips self-loops and duplicates via [`normalize_adjacency`].
+    /// deduplicates parallel edges and rejects self-loops via
+    /// [`normalize_adjacency`].
     ///
     /// # Errors
     ///
-    /// Returns a message naming the out-of-range neighbor, if any.
+    /// Returns a message naming the out-of-range neighbor or the
+    /// self-looped node, if any.
     pub fn from_lists(mut lists: Vec<Vec<u32>>) -> Result<Self, String> {
         let n = lists.len();
         for (v, row) in lists.iter().enumerate() {
@@ -484,6 +530,63 @@ impl Adjacency {
             offsets.push(neighbors.len() as u32);
         }
         Ok(Adjacency { offsets, neighbors })
+    }
+
+    /// Rebuilds from raw CSR arrays (the [`crate::dataset`] cache
+    /// path), re-validating every structural invariant the rest of the
+    /// crate relies on: `offsets` starts at 0, is non-decreasing, and
+    /// ends at `neighbors.len()`; every row is strictly increasing
+    /// (sorted, duplicate-free, binary-searchable) with in-range,
+    /// non-self neighbors.
+    ///
+    /// Symmetry is *not* re-checked here — the arrays are only ever
+    /// serialized from an already-symmetrized [`Adjacency`], and the
+    /// cache layer's checksum catches bit rot.
+    pub(crate) fn from_csr(offsets: Vec<u32>, neighbors: Vec<u32>) -> Result<Self, String> {
+        if offsets.first() != Some(&0) {
+            return Err("CSR offsets must start at 0".to_string());
+        }
+        let n = offsets.len() - 1;
+        if offsets.last().copied().unwrap_or(0) as usize != neighbors.len() {
+            return Err(format!(
+                "CSR offsets end at {} but there are {} neighbor entries",
+                offsets.last().unwrap(),
+                neighbors.len()
+            ));
+        }
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            if lo > hi {
+                return Err(format!("CSR offsets decrease at node {v}"));
+            }
+            let row = &neighbors[lo..hi];
+            for (i, &u) in row.iter().enumerate() {
+                if u as usize >= n {
+                    return Err(format!(
+                        "adjacency lists node {v} as neighbor of {u}, outside 0..{n}"
+                    ));
+                }
+                if u as usize == v {
+                    return Err(format!(
+                        "adjacency lists node {v} as its own neighbor (self-loop)"
+                    ));
+                }
+                if i > 0 && row[i - 1] >= u {
+                    return Err(format!("CSR row of node {v} is not strictly increasing"));
+                }
+            }
+        }
+        Ok(Adjacency { offsets, neighbors })
+    }
+
+    /// The raw CSR row-offset array (length `n + 1`), for serialization.
+    pub(crate) fn raw_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbor rows, for serialization.
+    pub(crate) fn raw_neighbors(&self) -> &[u32] {
+        &self.neighbors
     }
 
     /// Number of nodes.
@@ -602,10 +705,17 @@ impl Adjacency {
     }
 }
 
-/// Normalizes raw adjacency lists in place — strips self-loops, sorts
-/// and deduplicates every row, bounds-checks indices — and returns the
-/// undirected edge count. The one shared validation behind
-/// [`Adjacency::from_lists`] and `gossip-lowerbound`'s `Graph::finish`.
+/// Normalizes raw adjacency lists in place — sorts and deduplicates
+/// every row (parallel edges collapse to one), bounds-checks indices,
+/// rejects self-loops — and returns the undirected edge count. The one
+/// shared validation behind [`Adjacency::from_lists`] and
+/// `gossip-lowerbound`'s `Graph::finish`.
+///
+/// Self-loops are an *error*, not a cleanup: a raw edge list that
+/// mentions `v v` is either corrupt or needs an ingestion layer that
+/// decides what loops mean (the SNAP parser in [`crate::dataset`]
+/// drops loop *lines* and counts them before ever reaching here).
+/// Silently eating them would hide both.
 ///
 /// The caller is responsible for symmetry (either by construction, as
 /// `Graph::add_edge` does, or via [`Adjacency::from_lists`]'s mirror
@@ -613,7 +723,8 @@ impl Adjacency {
 ///
 /// # Errors
 ///
-/// Returns a message naming the out-of-range neighbor, if any.
+/// Returns a message naming the out-of-range neighbor or the
+/// self-looped node, if any.
 pub fn normalize_adjacency(lists: &mut [Vec<u32>]) -> Result<usize, String> {
     let n = lists.len();
     let mut half_edges = 0usize;
@@ -624,8 +735,12 @@ pub fn normalize_adjacency(lists: &mut [Vec<u32>]) -> Result<usize, String> {
                     "adjacency lists node {v} as neighbor of {u}, outside 0..{n}"
                 ));
             }
+            if u as usize == v {
+                return Err(format!(
+                    "adjacency lists node {v} as its own neighbor (self-loop)"
+                ));
+            }
         }
-        row.retain(|&u| u as usize != v);
         row.sort_unstable();
         row.dedup();
         half_edges += row.len();
@@ -664,8 +779,14 @@ fn torus2d(n: usize) -> Vec<Vec<u32>> {
     let at = |r: usize, c: usize| (r * cols + c) as u32;
     for r in 0..rows {
         for c in 0..cols {
-            lists[r * cols + c].push(at(r, (c + 1) % cols));
-            lists[r * cols + c].push(at((r + 1) % rows, c));
+            // A 1-wide dimension has no wrap edge — `(c + 1) % 1` would
+            // be a self-loop, which `normalize_adjacency` rejects.
+            if cols > 1 {
+                lists[r * cols + c].push(at(r, (c + 1) % cols));
+            }
+            if rows > 1 {
+                lists[r * cols + c].push(at((r + 1) % rows, c));
+            }
         }
     }
     lists
@@ -916,8 +1037,9 @@ mod tests {
 
     #[test]
     fn from_adjacency_symmetrizes_and_normalizes() {
-        // Directed, duplicated, self-looped input comes out clean.
-        let adj = Adjacency::from_lists(vec![vec![1, 1, 0], vec![2], vec![]]).unwrap();
+        // Directed, duplicated input comes out clean: the parallel
+        // `0-1` edge collapses and every edge is mirrored.
+        let adj = Adjacency::from_lists(vec![vec![1, 1], vec![2], vec![]]).unwrap();
         assert_eq!(adj.neighbors(0), &[1]);
         assert_eq!(adj.neighbors(1), &[0, 2]);
         assert_eq!(adj.neighbors(2), &[1]);
@@ -928,6 +1050,12 @@ mod tests {
     fn from_adjacency_rejects_out_of_range() {
         let err = Adjacency::from_lists(vec![vec![5], vec![]]).unwrap_err();
         assert!(err.contains("outside 0..2"), "{err}");
+    }
+
+    #[test]
+    fn from_adjacency_rejects_self_loops_naming_the_node() {
+        let err = Adjacency::from_lists(vec![vec![1], vec![1]]).unwrap_err();
+        assert!(err.contains("node 1") && err.contains("self-loop"), "{err}");
     }
 
     #[test]
@@ -949,6 +1077,7 @@ mod tests {
             (Topology::WattsStrogatz(4, -0.1), "\"beta\""),
             (Topology::PreferentialAttachment(0), "\"m\""),
             (Topology::FromAdjacency(vec![]), "\"adjacency\""),
+            (Topology::FromFile(String::new()), "\"path\""),
         ] {
             let err = t.validate().unwrap_err();
             assert!(err.contains(knob), "{}: {err}", t.name());
@@ -1045,11 +1174,36 @@ mod tests {
 
     #[test]
     fn normalize_is_shared_and_counts_edges() {
-        let mut lists = vec![vec![1, 2, 2, 0], vec![0], vec![0]];
+        let mut lists = vec![vec![2, 1, 2], vec![0], vec![0]];
         let edges = normalize_adjacency(&mut lists).unwrap();
-        assert_eq!(edges, 2);
+        assert_eq!(edges, 2, "the parallel 0-2 edge dedups");
         assert_eq!(lists[0], vec![1, 2]);
         let mut bad = vec![vec![9]];
         assert!(normalize_adjacency(&mut bad).is_err());
+    }
+
+    #[test]
+    fn normalize_rejects_self_loops_naming_the_node() {
+        let mut lists = vec![vec![1], vec![0], vec![2]];
+        let err = normalize_adjacency(&mut lists).unwrap_err();
+        assert!(err.contains("node 2") && err.contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn parse_spec_file_keeps_the_path_verbatim() {
+        assert_eq!(
+            Topology::parse_spec("file:tests/data/Mixed_Case-1.txt").unwrap(),
+            Topology::FromFile("tests/data/Mixed_Case-1.txt".to_string()),
+            "paths are not case-folded or separator-stripped"
+        );
+        assert_eq!(
+            Topology::parse_spec("FILE:a:b,c").unwrap(),
+            Topology::FromFile("a:b,c".to_string()),
+            "only the first `:` splits; the payload may contain `:` and `,`"
+        );
+        for bare in ["file:", "file", "file:   "] {
+            let err = Topology::parse_spec(bare).unwrap_err();
+            assert!(err.contains("\"path\""), "{bare}: {err}");
+        }
     }
 }

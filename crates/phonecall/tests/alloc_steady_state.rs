@@ -10,7 +10,8 @@
 //! and asserts exactly that — for the base engine, with the dynamic
 //! adversary attached, with a `RandomRegular` topology installed
 //! (neighbor sampling scans the CSR adjacency built once at install
-//! time; it must never allocate per round), with the multi-rumor
+//! time; it must never allocate per round), with a file-loaded
+//! (`FromFile`) snapshot installed, with the multi-rumor
 //! workload multiplexed over churn and a topology at once (the K known
 //! masks, active list and budget ledger are all sized at install time),
 //! and at `n = 2^20` — the struct-of-arrays engine sizes its columns
@@ -179,6 +180,22 @@ fn round_loop_does_not_allocate_in_steady_state() {
         m.pushes > 0 && m.pull_requests > 0 && m.crashes > 0,
         "the constrained network must actually have trafficked"
     );
+
+    // Same contract with a *file-loaded* topology: FromFile parses (or
+    // cache-loads) its snapshot once at install time into the same CSR
+    // the synthetic families build, so where the graph came from must
+    // be invisible to the steady-state zero.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/data/ws_1k.txt");
+    let mut from_file: Network<St> = Network::new(1 << 10, 47);
+    from_file.set_topology(
+        Topology::FromFile(fixture.to_string()),
+        DirectAddressing::Overlay,
+        9,
+    );
+    assert_steady_state_is_allocation_free(&mut from_file, "file-loaded");
+    let m = from_file.metrics();
+    assert_eq!(m.topology_edges, 3 << 10, "ws_1k is WS(6): nk/2 = 3n edges");
+    assert_eq!(m.topology_max_degree, 9);
 
     // Same contract with the multi-rumor workload multiplexed on top of
     // churn *and* a topology: the arrival plan is pre-generated, the K

@@ -8,7 +8,7 @@
 #
 # Workflow for an engine refactor (how PR 6 used it): check out the
 # pre-refactor tree, `capture` into a scratch dir, check out the
-# refactored tree, `compare` against it. All twelve experiment tables
+# refactored tree, `compare` against it. All thirteen experiment tables
 # are exact functions of RNG draw order, so a refactor that claims to be
 # behavior-preserving must produce byte-identical bytes here — and if it
 # intends to change behavior, the diff this script prints is the
@@ -34,6 +34,7 @@ bins=(
     exp_e9_message_loss
     exp_e10_churn
     exp_e11_topology
+    exp_e12_realgraphs
     exp_e13_traffic
 )
 

@@ -18,12 +18,12 @@
 //! GOLDEN_REGEN=1 cargo test --test golden_reports -- --nocapture
 //! ```
 //!
-//! and paste the printed rows over the `GOLDEN` table below (the churn
-//! and topology tests print their rows under `// churn grid:` /
-//! `// topology grid:` headers for the `CHURN_GOLDEN` /
-//! `TOPOLOGY_GOLDEN` tables). Do this only when the change is meant to
-//! alter traffic patterns; the whole point of the table is to make that
-//! decision explicit.
+//! and paste the printed rows over the `GOLDEN` table below (the churn,
+//! topology, traffic and dataset tests print their rows under
+//! `// churn grid:` / `// topology grid:` / `// traffic grid:` /
+//! `// dataset grid:` headers for their respective tables). Do this
+//! only when the change is meant to alter traffic patterns; the whole
+//! point of the table is to make that decision explicit.
 
 use optimal_gossip::prelude::*;
 
@@ -293,6 +293,109 @@ const TRAFFIC_GOLDEN: &[TrafficGolden] = &[
     ("NameDropper", 1, 26, 6656, 11472224, 8, 2040),
     ("NameDropper", 7, 25, 6400, 10336064, 8, 2040),
 ];
+
+/// Pinned digests for every registered algorithm on the `ws_1k` loaded
+/// snapshot (a file-loaded `Topology::FromFile`, exercising the whole
+/// dataset pipeline: text parse or binary cache → relabeled CSR →
+/// simulate) under both addressing modes at seed 1. The scenario name
+/// column records the addressing mode. As with the synthetic topology
+/// grid, restricted runs are *not* required to succeed; the digests pin
+/// the loaded graph — and with it the parser, the id relabeling, and
+/// the cache round-trip — bit-exactly.
+#[rustfmt::skip]
+const DATASET_GOLDEN: &[TopoGolden] = &[
+    // (algo, fixture/addressing, rounds, messages, bits, informed)
+    ("Cluster2", "ws_1k/overlay", 96, 31560, 1992103, 1024),
+    ("Cluster2", "ws_1k/restricted", 96, 15652, 922993, 1),
+    ("Cluster1", "ws_1k/overlay", 61, 43021, 2626450, 1019),
+    ("Cluster1", "ws_1k/restricted", 61, 10187, 581086, 7),
+    ("AvinElsasser", "ws_1k/overlay", 46, 19354, 2705819, 1024),
+    ("AvinElsasser", "ws_1k/restricted", 46, 13847, 1041603, 695),
+    ("Karp", "ws_1k/overlay", 29, 15763, 1055896, 1024),
+    ("Karp", "ws_1k/restricted", 29, 15763, 1055896, 1024),
+    ("PushPull", "ws_1k/overlay", 20, 21166, 3144592, 1024),
+    ("PushPull", "ws_1k/restricted", 20, 21166, 3144592, 1024),
+    ("Push", "ws_1k/overlay", 32, 12580, 4126240, 1024),
+    ("Push", "ws_1k/restricted", 32, 12580, 4126240, 1024),
+    ("Pull", "ws_1k/overlay", 32, 21251, 1144664, 1024),
+    ("Pull", "ws_1k/restricted", 32, 21251, 1144664, 1024),
+    ("Cluster3", "ws_1k/overlay", 119, 63664, 3997761, 1024),
+    ("Cluster3", "ws_1k/restricted", 119, 13000, 790903, 1024),
+    ("ClusterPushPull", "ws_1k/overlay", 163, 78391, 6908761, 1024),
+    ("ClusterPushPull", "ws_1k/restricted", 163, 23526, 1605159, 777),
+    ("Tree", "ws_1k/overlay", 2, 2046, 376464, 1024),
+    ("Tree", "ws_1k/restricted", 4, 10, 688, 2),
+    ("NameDropper", "ws_1k/overlay", 31, 31744, 205633104, 1024),
+    ("NameDropper", "ws_1k/restricted", 440, 121813, 16579308, 0),
+];
+
+/// The committed `ws_1k` fixture, resolved from the package root so the
+/// test passes regardless of the runner's working directory.
+fn ws_1k_path() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/ws_1k.txt").to_string()
+}
+
+fn dataset_grid() -> Vec<(&'static dyn Algorithm, &'static str, DirectAddressing)> {
+    let mut g = Vec::new();
+    for &algo in registry::all() {
+        for (name, mode) in [
+            ("ws_1k/overlay", DirectAddressing::Overlay),
+            ("ws_1k/restricted", DirectAddressing::Restricted),
+        ] {
+            g.push((algo, name, mode));
+        }
+    }
+    g
+}
+
+fn dataset_digest(
+    algo: &dyn Algorithm,
+    scenario_name: &'static str,
+    mode: DirectAddressing,
+) -> TopoGolden {
+    let r = algo.run(
+        &Scenario::broadcast(1024)
+            .seed(1)
+            .topology(Topology::FromFile(ws_1k_path()))
+            .addressing(mode),
+    );
+    (
+        algo.name(),
+        scenario_name,
+        r.rounds,
+        r.messages,
+        r.bits,
+        r.informed,
+    )
+}
+
+#[test]
+fn dataset_run_reports_match_golden_digests() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        println!("// dataset grid:");
+        for (algo, name, mode) in dataset_grid() {
+            let (algo, name, rounds, messages, bits, informed) = dataset_digest(algo, name, mode);
+            println!("    (\"{algo}\", \"{name}\", {rounds}, {messages}, {bits}, {informed}),");
+        }
+        return;
+    }
+    assert_eq!(
+        DATASET_GOLDEN.len(),
+        dataset_grid().len(),
+        "dataset golden table out of sync with the registry grid; regenerate with GOLDEN_REGEN=1"
+    );
+    for (&(name, scenario, rounds, messages, bits, informed), (algo, gname, mode)) in
+        DATASET_GOLDEN.iter().zip(dataset_grid())
+    {
+        assert_eq!((name, scenario), (algo.name(), gname), "grid drift");
+        let got = dataset_digest(algo, gname, mode);
+        assert_eq!(
+            got,
+            (name, scenario, rounds, messages, bits, informed),
+            "{name} at {scenario} drifted from its dataset golden digest"
+        );
+    }
+}
 
 fn traffic_grid() -> Vec<(&'static dyn Algorithm, u64)> {
     let mut g = Vec::new();
