@@ -21,6 +21,8 @@
 //! corrupted by a single unluckily timed leader crash, so mid-run churn
 //! is exactly where their time-0 guarantee (Theorem 19) stops applying.
 
+#![forbid(unsafe_code)]
+
 use gossip_bench::{algos_by_name, cli, emit, BenchJson};
 use gossip_core::algo::Scenario;
 use gossip_harness::{par_map_trials, Summary, Table};

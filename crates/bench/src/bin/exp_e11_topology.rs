@@ -32,6 +32,8 @@
 //! addressing buys `log log n` exactly because the address space is
 //! flat; confine it to edges and graph geometry rules again.
 
+#![forbid(unsafe_code)]
+
 use gossip_bench::{algos_by_name, cli, emit, BenchJson};
 use gossip_core::algo::Scenario;
 use gossip_harness::{par_map_trials, Summary, Table};

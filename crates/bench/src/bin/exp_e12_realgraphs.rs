@@ -28,6 +28,8 @@
 //! links are worthless. Loading from file changes none of it — the
 //! dataset pipeline is measurement plumbing, not physics.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 
 use gossip_baselines::registry;

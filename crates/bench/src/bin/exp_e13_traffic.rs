@@ -23,6 +23,8 @@
 //! budget of one transfer per node per round makes burst rumors queue
 //! behind each other past the end of any fixed schedule.
 
+#![forbid(unsafe_code)]
+
 use gossip_baselines::registry;
 use gossip_bench::{cli, emit, BenchJson};
 use gossip_core::algo::Scenario;

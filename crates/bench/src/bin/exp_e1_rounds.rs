@@ -11,6 +11,8 @@
 //! runner, asserts the parallel summaries are bit-identical to it, and
 //! writes `BENCH_e1.json` with both wall times and the speedup.
 
+#![forbid(unsafe_code)]
+
 use gossip_baselines::registry;
 use gossip_bench::{cli, emit, ns_header, BenchJson};
 use gossip_core::algo::{Algorithm, Scenario};

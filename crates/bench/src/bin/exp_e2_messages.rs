@@ -9,6 +9,8 @@
 //! payload-bearing messages per node (the "transmissions" measure of
 //! Karp et al. — header-only pull requests excluded).
 
+#![forbid(unsafe_code)]
+
 use gossip_baselines::registry;
 use gossip_bench::{cli, emit, ns_header, BenchJson};
 use gossip_core::algo::Scenario;

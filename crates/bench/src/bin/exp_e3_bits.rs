@@ -5,6 +5,8 @@
 //! grow. Avin–Elsässer pays an extra `n·log^{3/2} n` term (visible at
 //! small `b`), and PUSH pays `Θ(n·b·log n)`.
 
+#![forbid(unsafe_code)]
+
 use gossip_bench::{algos_by_name, cli, emit, BenchJson};
 use gossip_core::algo::Scenario;
 use gossip_harness::{geometric_ns, run_trials, Table};

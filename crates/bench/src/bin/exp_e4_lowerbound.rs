@@ -8,6 +8,8 @@
 //! threshold around `T ≈ log₂ log₂ n`, with everything at or below the
 //! paper's `0.99·log log n` cutoff at probability 0.
 
+#![forbid(unsafe_code)]
+
 use gossip_bench::{cli, emit, BenchJson};
 use gossip_harness::{par_map_on, Table};
 use gossip_lowerbound::knowledge::rounds_to_complete;

@@ -4,6 +4,8 @@
 //! `Θ(Δ)` in `O(log log n)` rounds with `O(n)` messages, while **no node
 //! communicates with more than `Δ` others in any round**.
 
+#![forbid(unsafe_code)]
+
 use gossip_baselines::registry;
 use gossip_bench::{cli, emit, BenchJson};
 use gossip_core::algo::Scenario;

@@ -5,6 +5,8 @@
 //! `Δ`-clustering achieves `O(log n / log Δ)` rounds with `O(n)` rumor
 //! transmissions (Lemma 17). Sweeping `Δ` at fixed `n` traces the curve.
 
+#![forbid(unsafe_code)]
+
 use gossip_baselines::registry;
 use gossip_bench::{cli, emit, BenchJson};
 use gossip_core::algo::Scenario;

@@ -6,6 +6,8 @@
 //! is that this ratio vanishes (it is `O(F/n)^{Θ(log log n)}`-ish, i.e.
 //! far below 1 and shrinking with n).
 
+#![forbid(unsafe_code)]
+
 use gossip_bench::{algos_by_name, cli, emit, BenchJson};
 use gossip_core::algo::Scenario;
 use gossip_harness::{par_map_trials, Summary, Table};

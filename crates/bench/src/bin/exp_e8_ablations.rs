@@ -12,6 +12,8 @@
 //!   the second sweep is what merges inactive clusters that the first one
 //!   missed. With a single sweep, stragglers pile up.
 
+#![forbid(unsafe_code)]
+
 use gossip_bench::{cli, emit, BenchJson};
 use gossip_core::primitives::{
     activate, merge_iteration, resize, sample_singletons, MergeOpts, MergeRule, Who,

@@ -13,6 +13,8 @@
 //! but not always, recover — quantifying how much of their optimality
 //! budget is spent on the reliable-link assumption.
 
+#![forbid(unsafe_code)]
+
 use gossip_bench::{algos_by_name, cli, emit, BenchJson};
 use gossip_core::algo::Scenario;
 use gossip_harness::{par_map_trials, Summary, Table};

@@ -8,6 +8,8 @@
 //!
 //! Usage: `gen_fixtures [dir]` (default `tests/data`).
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use phonecall::dataset::fixture;

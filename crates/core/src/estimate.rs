@@ -180,11 +180,18 @@ pub fn run_unknown_n(n: usize, cfg: &Cluster2Config) -> UnknownNReport {
     let mut total_messages = 0;
     let mut guess: usize = 16;
     let mut attempt: u64 = 0;
+    // Per-attempt seeds run on a dedicated derived stream so the attempt
+    // counter never aliases the engine's reserved labels on the shared
+    // scenario seed (attempt 1..=6 would collide with them).
+    const GUESS_STREAM: u64 = 0x9e57;
     loop {
         guesses.push(guess);
         let mut attempt_cfg = cfg.clone();
         attempt_cfg.assumed_n = Some(guess);
-        attempt_cfg.common.seed = phonecall::derive_seed(cfg.common.seed, attempt);
+        attempt_cfg.common.seed = phonecall::derive_seed(
+            phonecall::derive_seed(cfg.common.seed, GUESS_STREAM),
+            attempt,
+        );
         let mut sim = ClusterSim::new(n, &attempt_cfg.common);
         let run = crate::cluster2::run_on(&mut sim, &attempt_cfg);
         let test = broadcast_success_test(&mut sim);

@@ -8,7 +8,7 @@
 //! experiments — these read global state and are *never* consulted by the
 //! simulated nodes themselves.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use phonecall::{FailurePlan, Network, NodeId, NodeIdx};
 use rand::rngs::SmallRng;
@@ -175,14 +175,16 @@ impl ClusterSim {
             .map(|(_, s)| s)
     }
 
-    /// Groups alive clustered nodes by the leader they follow.
+    /// Groups alive clustered nodes by the leader they follow, ordered
+    /// by leader id (a `BTreeMap`, so iteration order — and with it any
+    /// tie-break a consumer takes over the map — is deterministic).
     ///
     /// Note this groups by raw `follow` value; stale pointers (mid-merge)
     /// appear as clusters keyed by a non-leader. [`crate::verify`] checks
     /// for that.
     #[must_use]
-    pub fn cluster_map(&self) -> HashMap<NodeId, Vec<NodeIdx>> {
-        let mut map: HashMap<NodeId, Vec<NodeIdx>> = HashMap::new();
+    pub fn cluster_map(&self) -> BTreeMap<NodeId, Vec<NodeIdx>> {
+        let mut map: BTreeMap<NodeId, Vec<NodeIdx>> = BTreeMap::new();
         for (i, s) in self.net.states().iter().enumerate() {
             let idx = NodeIdx(i as u32);
             if !self.net.is_alive(idx) {

@@ -24,6 +24,7 @@ pub fn trial_seeds(master: u64, label: &str, count: u32) -> Vec<u64> {
         .bytes()
         .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
     (0..count)
+        // detlint: allow(stream_label) — `master ^ label_hash` is already a per-experiment private parent (no other caller shares it), and the trial seeds it fans out are run seeds, not sub-streams of one
         .map(|k| derive_seed(master ^ label_hash, u64::from(k)))
         .collect()
 }

@@ -1,0 +1,453 @@
+//! A hand-rolled Rust surface lexer: just enough tokenization to audit
+//! determinism hazards without `syn` (the vendored deps are stubs, so
+//! pulling a real parser is off the table — and none is needed).
+//!
+//! The lexer understands exactly the constructs that would otherwise
+//! produce false findings: line and (nested) block comments, string and
+//! raw-string literals (with `b`/`r`/`br` prefixes and `#` guards),
+//! char literals vs. lifetimes, and numeric literals with underscores,
+//! radix prefixes and type suffixes. Everything else becomes an
+//! [`Token`] — an identifier, an integer (with its parsed value when it
+//! fits `u64`), or a single punctuation character.
+//!
+//! Comments are kept (with their line spans) because suppressions live
+//! in them; string/char contents are dropped because a deny-listed name
+//! inside an error message is not a hazard.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `seed`, ...).
+    Ident,
+    /// An integer literal; the value is `None` when it overflows `u64`.
+    Int(Option<u64>),
+    /// Any other single punctuation character, or a float literal.
+    Other,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// Classification used by the rules.
+    pub kind: TokKind,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Other && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with its line span and inner text.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on (same as `start_line` for `//`).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-string tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs simply run to the
+/// end of the file, which is the forgiving behavior a linter wants (the
+/// compiler is the authority on well-formedness).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'b' | 'r' if self.raw_or_byte_prefix() => {}
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().expect("peeked");
+                    self.out.tokens.push(Token {
+                        line,
+                        text: c.to_string(),
+                        kind: TokKind::Other,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        self.bump();
+        self.bump(); // //
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().expect("peeked"));
+        }
+        self.out.comments.push(Comment {
+            start_line: start,
+            end_line: start,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        self.bump();
+        self.bump(); // /*
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(_), _) => text.push(self.bump().expect("peeked")),
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment {
+            start_line: start,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// Consumes a `"..."` string with escapes; contents are discarded.
+    fn string(&mut self) {
+        self.bump(); // "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Handles `b"..."`, `r"..."`, `br#"..."#` etc. at the current
+    /// position. Returns true (and consumes the literal) when the
+    /// position really starts such a literal; false leaves the lexer
+    /// untouched so the `b`/`r` is read as a plain identifier start.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let mut ahead = 0;
+        let mut raw = false;
+        match self.peek(0) {
+            Some('b') => {
+                ahead = 1;
+                if self.peek(1) == Some('r') {
+                    ahead = 2;
+                    raw = true;
+                }
+            }
+            Some('r') => {
+                ahead = 1;
+                raw = true;
+            }
+            _ => {}
+        }
+        let mut hashes = 0usize;
+        if raw {
+            while self.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+        }
+        match self.peek(ahead + hashes) {
+            Some('"') => {}
+            Some('\'') if !raw && ahead == 1 => {
+                // b'x' byte literal.
+                self.bump(); // b
+                self.char_or_lifetime();
+                return true;
+            }
+            _ => return false,
+        }
+        // Raw identifiers (`r#type`) end up here with raw=true, hashes=1
+        // and a non-quote next char — already rejected above. Consume the
+        // prefix and the opening quote.
+        for _ in 0..=(ahead + hashes) {
+            self.bump();
+        }
+        if raw {
+            // Scan to `"` followed by `hashes` hashes.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for i in 0..hashes {
+                        if self.peek(i) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        self.bump(); // '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // 'x' is a char literal iff a quote follows the ident
+                // run; otherwise it is a lifetime and the ident is left
+                // for the caller (it carries no hazard either way).
+                let mut run = 1;
+                while self
+                    .peek(run)
+                    .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                {
+                    run += 1;
+                }
+                if self.peek(run) == Some('\'') {
+                    for _ in 0..=run {
+                        self.bump();
+                    }
+                } else {
+                    // Lifetime: swallow the ident so `'a` does not emit
+                    // a spurious `a` identifier token.
+                    for _ in 0..run {
+                        self.bump();
+                    }
+                }
+            }
+            Some(_) => {
+                // '(' or similar after a quote: non-ident char literal.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let radix_hex = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('o') | Some('b'));
+        text.push(self.bump().expect("peeked"));
+        if radix_hex {
+            text.push(self.bump().expect("peeked"));
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                text.push(self.bump().expect("peeked"));
+            } else if c == '.' && !is_float && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                text.push(self.bump().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        let kind = if is_float {
+            TokKind::Other
+        } else {
+            TokKind::Int(parse_int(&text))
+        };
+        self.out.tokens.push(Token { line, text, kind });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(self.bump().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Token {
+            line,
+            text,
+            kind: TokKind::Ident,
+        });
+    }
+}
+
+/// Parses an integer literal's value: underscores stripped, `0x`/`0o`/
+/// `0b` radix prefixes honored, any trailing type suffix (`u64`, `i32`,
+/// `usize`, ...) ignored.
+fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = match clean.get(..2) {
+        Some("0x") | Some("0X") => (16, &clean[2..]),
+        Some("0o") => (8, &clean[2..]),
+        Some("0b") => (2, &clean[2..]),
+        _ => (10, clean.as_str()),
+    };
+    let end = digits
+        .char_indices()
+        .find(|&(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(i, _)| i);
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* nested /* HashMap */ still comment */
+            let s = "HashMap inside a string";
+            let r = r#"HashMap inside "raw" string"#;
+            let b = b"HashMap bytes";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "HashMap").count(), 1, "{ids:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        // The lifetime ident is swallowed, not misread as a char.
+        assert!(!ids.contains(&"a".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_the_rest_of_the_file() {
+        let ids = idents("let c = 'x'; let after = 1;");
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn int_values_parse_with_radix_and_suffix() {
+        let toks = lex("0x10 77u64 1_000 0b101 9.5").tokens;
+        let vals: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Int(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![Some(16), Some(77), Some(1000), Some(5)]);
+    }
+
+    #[test]
+    fn comment_spans_cover_block_comments() {
+        let l = lex("/* a\nb */ x");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].start_line, 1);
+        assert_eq!(l.comments[0].end_line, 2);
+        assert_eq!(l.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn range_expressions_stay_two_ints() {
+        let toks = lex("0..BUILD_ATTEMPTS 1..=7").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("BUILD_ATTEMPTS")));
+        assert_eq!(toks[0].kind, TokKind::Int(Some(0)));
+    }
+}

@@ -1,0 +1,108 @@
+//! detlint CLI: lint the workspace for determinism hazards.
+//!
+//! ```text
+//! cargo run -p gossip-lint --release                      # lint, exit 1 on findings
+//! cargo run -p gossip-lint --release -- --update-registry # rewrite STREAM_LABELS.tsv
+//! cargo run -p gossip-lint --release -- --verbose         # also list suppressed audits
+//! ```
+//!
+//! Scans first-party sources only: `src/`, `crates/`, `tests/`,
+//! `examples/` under the workspace root (auto-detected from the crate's
+//! own location, override with `--root <dir>`). `vendor/` and `target/`
+//! are never scanned — the vendored stubs are not ours to audit.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gossip_lint::{collect_workspace, lint_files, Finding, REGISTRY_FILE};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gossip-lint [--root <dir>] [--update-registry] [--verbose]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update_registry = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--update-registry" => update_registry = true,
+            "--verbose" => verbose = true,
+            _ => return usage(),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // crates/lint/ -> workspace root.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let files = collect_workspace(&root);
+    if files.is_empty() {
+        eprintln!("gossip-lint: no sources found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let registry_path = root.join(REGISTRY_FILE);
+    let committed = std::fs::read_to_string(&registry_path).ok();
+    let mut report = lint_files(&files, committed.as_deref());
+
+    if update_registry {
+        let fresh = gossip_lint::registry::render(&report.streams);
+        if let Err(e) = std::fs::write(&registry_path, &fresh) {
+            eprintln!("gossip-lint: cannot write {}: {e}", registry_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} call sites)",
+            registry_path.display(),
+            report.streams.len()
+        );
+        // The drift finding (if any) is now resolved by construction.
+        report = lint_files(&files, Some(&fresh));
+    }
+
+    if verbose {
+        for f in report.suppressed() {
+            println!(
+                "{}:{}: allowed[{}]: {}",
+                f.path,
+                f.line,
+                f.rule.name(),
+                f.suppressed.as_deref().unwrap_or_default()
+            );
+        }
+    }
+    let unsuppressed: Vec<&Finding> = report.unsuppressed().collect();
+    for f in &unsuppressed {
+        println!(
+            "{}:{}: error[{}]: {}",
+            f.path,
+            f.line,
+            f.rule.name(),
+            f.message
+        );
+    }
+    println!(
+        "gossip-lint: {} files, {} stream sites, {} audited suppressions, {} errors",
+        report.files_scanned,
+        report.streams.len(),
+        report.suppressed().count(),
+        unsuppressed.len()
+    );
+    if unsuppressed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

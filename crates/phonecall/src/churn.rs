@@ -250,6 +250,7 @@ impl AdversarySchedule {
     pub fn advance(&mut self, round: u64, alive: &mut BitSet) -> ChurnRound {
         let n = self.crashed_by_us.len();
         assert_eq!(alive.len(), n, "alive mask length changed under churn");
+        // detlint: allow(stream_label) — self.seed is the schedule's private churn stream (derived from the scenario seed with reserved label 4 at wiring), so per-round labels cannot alias anyone else's
         let mut rng = rng_from_seed(derive_seed(self.seed, round));
         let cfg = &self.cfg;
         let in_window = round >= cfg.start_round && cfg.stop_round.is_none_or(|stop| round < stop);

@@ -19,6 +19,7 @@
 //!   [`normalize_adjacency`](crate::normalize_adjacency) — which
 //!   treats a surviving self-loop as a hard error.
 
+// detlint: allow-file(hash_order) — the `ids` relabeling HashMap is probed per-id; dense labels are assigned in first-appearance order of the file bytes and the map is never iterated
 use std::collections::HashMap;
 
 use crate::topology::Adjacency;

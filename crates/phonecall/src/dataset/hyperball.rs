@@ -95,6 +95,7 @@ pub fn estimate_with_registers(adj: &Adjacency, seed: u64, p: u32) -> Estimate {
     // [v*words, (v+1)*words). 8-bit registers, 8 to a u64.
     let mut cur = vec![0u64; n * words];
     for v in 0..n {
+        // detlint: allow(stream_label) — derive_seed is used as the per-node hash function here; `seed` is the estimator's own parameter (callers pass a dedicated constant), not the shared scenario seed
         let h = derive_seed(seed, v as u64);
         let bucket = (h & (registers as u64 - 1)) as usize;
         let rest = h >> p;

@@ -6,6 +6,7 @@
 //! equivalent to a uniformly random failure set — which is exactly how
 //! [`FailurePlan::random`] samples.
 
+// detlint: allow-file(hash_order) — the sparse Fisher–Yates `displaced` map is accessed per-key only and the sampled set is emitted via the explicit() sort; no HashMap iteration reaches any output
 use std::collections::HashMap;
 
 use rand::Rng;

@@ -9,6 +9,7 @@
 //! back to [`NodeIdx`]s through a hash map, like a network delivering to an
 //! IP address.
 
+// detlint: allow-file(hash_order) — the directory HashMap is lookup-only (resolve/contains_key); every enumeration goes through the ordered `ids` Vec, so iteration order never exists to observe
 use std::collections::HashMap;
 use std::fmt;
 

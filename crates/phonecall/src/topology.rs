@@ -145,6 +145,14 @@ pub enum Topology {
 /// produce a connected graph at this `n`.
 const BUILD_ATTEMPTS: u64 = 64;
 
+/// Stream label for regeneration draws: retries run on
+/// `derive_seed(derive_seed(seed, RETRY_STREAM), attempt)` so the
+/// attempt counter never walks through labels other streams own on the
+/// shared scenario seed (attempt values 1..=6 would otherwise collide
+/// with the engine's reserved streams). The first draw stays on
+/// `derive_seed(seed, 0)`, which it has always used.
+const RETRY_STREAM: u64 = 0x7e7a;
+
 impl Topology {
     /// Stable family name (also the `--topo` CLI name; matching is case-
     /// and separator-insensitive).
@@ -244,10 +252,13 @@ impl Topology {
     /// form — the engine keeps its original uniform sampling).
     ///
     /// Deterministic per `(topology, n, seed)`. Random families draw
-    /// from a stream derived from `seed` and regenerate with a further
-    /// derived seed when an attempt comes out disconnected (or, for the
-    /// pairing model, unpairable), so callers always receive a
-    /// connected graph. [`Topology::FromAdjacency`] is used verbatim.
+    /// their first attempt from `derive_seed(seed, 0)` and regenerate
+    /// on a dedicated retry stream (`derive_seed(derive_seed(seed,
+    /// RETRY_STREAM), attempt)`) when an attempt comes out disconnected
+    /// (or, for the pairing model, unpairable), so callers always
+    /// receive a connected graph without the attempt counter ever
+    /// touching labels other streams own on the scenario seed.
+    /// [`Topology::FromAdjacency`] is used verbatim.
     ///
     /// # Panics
     ///
@@ -289,7 +300,13 @@ impl Topology {
             return Some(adj);
         }
         for attempt in 0..BUILD_ATTEMPTS {
-            let mut rng = rng_from_seed(derive_seed(seed, attempt));
+            // First draw on the long-established label 0; retries on a
+            // dedicated derived stream (see `RETRY_STREAM`).
+            let mut rng = rng_from_seed(if attempt == 0 {
+                derive_seed(seed, 0)
+            } else {
+                derive_seed(derive_seed(seed, RETRY_STREAM), attempt)
+            });
             let lists = match self {
                 Topology::Ring => Some(ring(n)),
                 Topology::Torus2D => Some(torus2d(n)),

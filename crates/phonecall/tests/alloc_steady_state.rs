@@ -23,6 +23,7 @@
 //! thread occasionally allocates (timers, output buffering) concurrently
 //! with the measured loop, which made a process-global count flaky.
 
+// detlint: allow-file(unsafe_code) — the audited GlobalAlloc counting shim: every unsafe fn defers verbatim to `System` and only bumps a thread-local Cell, which allocates nothing and never touches the returned memory
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
