@@ -57,8 +57,10 @@ pub fn rumor_network(n: usize, cfg: &CommonConfig) -> Network<RumorNode> {
     net.apply_failures(&cfg.failures);
     net.set_message_loss(cfg.message_loss);
     // Same stream labels as ClusterSim (4 = churn, 5 = topology, 6 =
-    // traffic), so one scenario means one crash/recovery/burst history,
-    // one contact graph and one rumor stream for every algorithm.
+    // traffic; `set_engine` derives the async 7/8/9 streams internally),
+    // so one scenario means one crash/recovery/burst history, one
+    // contact graph, one rumor stream and one event timeline for every
+    // algorithm.
     net.set_churn(cfg.churn.clone(), phonecall::derive_seed(cfg.seed, 4));
     net.set_topology(
         cfg.topology.clone(),
@@ -70,6 +72,7 @@ pub fn rumor_network(n: usize, cfg: &CommonConfig) -> Network<RumorNode> {
         cfg.rumor_bits,
         phonecall::derive_seed(cfg.seed, 6),
     );
+    net.set_engine(cfg.engine.clone(), cfg.seed);
     net.states_mut()[cfg.source as usize].informed = true;
     for &extra in &cfg.extra_sources {
         assert!((extra as usize) < n, "extra source index out of range");
@@ -94,6 +97,8 @@ pub fn report_from(net: &Network<RumorNode>) -> RunReport {
         n,
         alive,
         rounds: m.rounds,
+        virtual_time: net.virtual_time(),
+        events_processed: net.events_processed(),
         messages: m.messages,
         payload_messages: m.payload_messages,
         bits: m.bits,

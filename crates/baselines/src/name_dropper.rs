@@ -96,6 +96,8 @@ pub fn run_report(n: usize, topology: Topology, cfg: &CommonConfig) -> gossip_co
         n,
         alive: net.alive_count(),
         rounds: m.rounds,
+        virtual_time: net.virtual_time(),
+        events_processed: net.events_processed(),
         messages: m.messages,
         payload_messages: m.payload_messages,
         bits: m.bits,
@@ -150,6 +152,9 @@ fn run_net(n: usize, topology: Topology, cfg: &CommonConfig) -> Network<Discover
         cfg.rumor_bits,
         phonecall::derive_seed(cfg.seed, 6),
     );
+    // The engine schedule (async streams 7/8/9 derived internally from
+    // the raw scenario seed; `Engine::Sync` installs nothing).
+    net.set_engine(cfg.engine.clone(), cfg.seed);
     let id_bits = phonecall::id_bits(n);
 
     // Seed the initial knowledge graph.

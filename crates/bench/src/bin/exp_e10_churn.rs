@@ -130,7 +130,8 @@ fn main() {
         let mut row = vec![algo.name().to_string()];
         let mut rrow = vec![algo.name().to_string()];
         for (profile_name, churn) in &profiles {
-            let scenario = opts.apply_topology(Scenario::broadcast(n).churn(churn.clone()));
+            let scenario =
+                opts.apply_engine(opts.apply_topology(Scenario::broadcast(n).churn(churn.clone())));
             let label = format!("{}{profile_name}", algo.name());
             let reps = par_map_trials(0xE10, &label, trials, |seed| {
                 let r = algo.run(&scenario.clone().seed(seed));

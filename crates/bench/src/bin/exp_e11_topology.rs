@@ -178,9 +178,11 @@ fn main() {
             let mut row = vec![algo.name().to_string()];
             let mut rrow = vec![algo.name().to_string()];
             for (topo_name, topo) in &topos {
-                let scenario = Scenario::broadcast(n)
-                    .topology(topo.clone())
-                    .addressing(mode);
+                let scenario = opts.apply_engine(
+                    Scenario::broadcast(n)
+                        .topology(topo.clone())
+                        .addressing(mode),
+                );
                 let label = format!("{}/{}/{}", algo.name(), topo_name, mode.label());
                 let reps = par_map_trials(0xE11, &label, trials, |seed| {
                     let r = algo.run(&scenario.clone().seed(seed));

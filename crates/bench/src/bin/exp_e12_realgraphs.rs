@@ -150,9 +150,11 @@ fn main() {
             let mut row = vec![algo.name().to_string()];
             let mut rrow = vec![algo.name().to_string()];
             for (f, spec, adj) in &fixtures {
-                let scenario = Scenario::broadcast(adj.len())
-                    .topology(Topology::FromFile(spec.clone()))
-                    .addressing(mode);
+                let scenario = opts.apply_engine(
+                    Scenario::broadcast(adj.len())
+                        .topology(Topology::FromFile(spec.clone()))
+                        .addressing(mode),
+                );
                 // The label (not the path) feeds seed derivation, so
                 // trial seeds do not depend on where the tree lives.
                 let label = format!("{}/{}/{}", algo.name(), f.name, mode.label());

@@ -99,8 +99,9 @@ fn main() {
         let mut lrow = vec![algo.name().to_string()];
         let mut frow = vec![algo.name().to_string()];
         for &(profile_name, k, rate, bw) in &profiles {
-            let scenario =
-                opts.apply_topology(Scenario::broadcast(n).rumors(k, rate).bandwidth(bw));
+            let scenario = opts.apply_engine(
+                opts.apply_topology(Scenario::broadcast(n).rumors(k, rate).bandwidth(bw)),
+            );
             let label = format!("{}{profile_name}", algo.name());
             let reps = par_map_trials(0xE13, &label, trials, |seed| {
                 let r = algo.run(&scenario.clone().seed(seed));

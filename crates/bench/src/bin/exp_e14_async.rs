@@ -1,0 +1,232 @@
+//! **E14 — asynchrony** (extension; the event-driven engine of
+//! `phonecall::events`).
+//!
+//! Every experiment so far runs the paper's synchronous rounds: all
+//! nodes act in lockstep, all messages arrive instantly. E14 re-runs
+//! the registry under the **asynchronous engine** — per-node
+//! exponential activation clocks and a configurable message-latency
+//! distribution, processed as one deterministic timestamp-ordered event
+//! queue — and asks which of the paper's findings survive the loss of
+//! lockstep.
+//!
+//! The grid crosses the algorithm registry with four engine schedules:
+//! synchronous, and asynchronous under fixed / uniform / exponential
+//! latency. Per cell it measures schedule steps to completion, elapsed
+//! continuous virtual time, and messages per node; a second table probes
+//! E11's **restricted-addressing collapse** (sparse graphs defeat the
+//! clustered protocols when unknown addresses cannot be dialed) under
+//! the same schedules.
+//!
+//! Observed shapes (recorded in EXPERIMENTS.md): the round/step counts
+//! — and with them the `Θ(log log n)` vs `Θ(log n)` separation — are
+//! engine-invariant for the bounded-schedule protocols, because a
+//! schedule step drains its whole event cascade before the next begins;
+//! what asynchrony adds is a *virtual-time tax* per step (the `ln n / λ`
+//! straggler wait plus the latency tail) and, for the observer-stopped
+//! baselines, a small extra message cost from pulls answered mid-cascade
+//! with fresher state. The restricted collapse is schedule-independent:
+//! it is a property of the contact graph, not of timing.
+
+#![forbid(unsafe_code)]
+
+use gossip_baselines::registry;
+use gossip_bench::{cli, emit, BenchJson};
+use gossip_core::algo::Scenario;
+use gossip_harness::{par_map_trials, Table};
+use phonecall::{DirectAddressing, Engine, Topology};
+
+/// The engine schedules of the grid, by catalog spec.
+fn engines(opts: &cli::Options) -> Vec<(String, Engine)> {
+    match &opts.engine {
+        // --engine restricts the grid to the one requested schedule
+        // (mirrors what --topo does to E11's topology grid).
+        Some(e) => vec![(e.spec(), e.clone())],
+        None => Engine::catalog()
+            .iter()
+            .map(|&(spec, _)| {
+                let e = Engine::parse_spec(spec).expect("catalog specs parse");
+                (e.spec(), e)
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let opts = cli::parse();
+    let mut bench = BenchJson::start("e14", &opts);
+    let n: usize = opts.n.unwrap_or(if opts.huge {
+        1 << 20
+    } else if opts.full {
+        1 << 12
+    } else {
+        1 << 10
+    });
+    let trials = opts.cell_trials(opts.trials_or(if opts.full { 10 } else { 5 }), n);
+    let engines = engines(&opts);
+    // The whole registry: the acceptance bar for the async engine is
+    // that every algorithm runs unmodified through the Algorithm trait.
+    let algos = opts.algos(registry::all());
+
+    let mut header: Vec<String> = vec!["algorithm".into()];
+    header.extend(engines.iter().map(|(spec, _)| spec.clone()));
+    let cols: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rounds_tbl = Table::new(
+        format!(
+            "E14: schedule steps to completion (n = 2^{})",
+            n.trailing_zeros()
+        ),
+        &cols,
+    );
+    let mut vt_tbl = Table::new(
+        "E14b: elapsed virtual time (asynchronous engines; sync has no clock)",
+        &cols,
+    );
+    let mut msg_tbl = Table::new("E14c: messages per node", &cols);
+
+    // Headline metrics contrast the paper's headline algorithm across
+    // engines — or track the selected algorithm under --algo.
+    let head_name = opts.algo.map_or("Cluster2", |a| a.name());
+    let mut head_rounds_sync = f64::NAN;
+    let mut head_rounds_async = f64::NAN;
+    let mut head_vt_async = f64::NAN;
+    let mut head_msgs_sync = f64::NAN;
+    let mut head_msgs_async = f64::NAN;
+    for &algo in &algos {
+        let mut rrow = vec![algo.name().to_string()];
+        let mut vrow = vec![algo.name().to_string()];
+        let mut mrow = vec![algo.name().to_string()];
+        for (spec, engine) in &engines {
+            let scenario = opts.apply_topology(Scenario::broadcast(n).engine(engine.clone()));
+            let label = format!("{}/{spec}", algo.name());
+            let reps = par_map_trials(0xE14, &label, trials, |seed| {
+                let r = algo.run(&scenario.clone().seed(seed));
+                (
+                    r.rounds as f64,
+                    r.virtual_time,
+                    r.messages_per_node(),
+                    f64::from(u8::from(r.success)),
+                )
+            });
+            let t = f64::from(trials);
+            let rounds: f64 = reps.iter().map(|&(r, ..)| r).sum::<f64>() / t;
+            let vt: f64 = reps.iter().map(|&(_, v, ..)| v).sum::<f64>() / t;
+            let msgs: f64 = reps.iter().map(|&(_, _, m, _)| m).sum::<f64>() / t;
+            let ok: f64 = reps.iter().map(|&(.., s)| s).sum::<f64>() / t;
+            if algo.name() == head_name {
+                if engine.is_async() {
+                    // Last async column wins; with the default grid that
+                    // is async:exponential, the heaviest latency tail.
+                    head_rounds_async = rounds;
+                    head_vt_async = vt;
+                    head_msgs_async = msgs;
+                } else {
+                    head_rounds_sync = rounds;
+                    head_msgs_sync = msgs;
+                }
+            }
+            rrow.push(if ok < 1.0 {
+                format!("{rounds:.1} ({:.0}% ok)", ok * 100.0)
+            } else {
+                format!("{rounds:.1}")
+            });
+            vrow.push(if engine.is_async() {
+                format!("{vt:.1}")
+            } else {
+                "—".to_string()
+            });
+            mrow.push(format!("{msgs:.2}"));
+        }
+        rounds_tbl.push_row(rrow);
+        vt_tbl.push_row(vrow);
+        msg_tbl.push_row(mrow);
+    }
+
+    // The E11 corner: does the restricted-addressing collapse survive
+    // asynchrony? Sparse restricted graphs defeat the clustered
+    // protocols under lockstep; the async engine changes timing, not
+    // reachability, so the collapse must persist.
+    let corner_algos: Vec<&str> = if opts.algo.is_some() {
+        vec![head_name]
+    } else {
+        vec!["Cluster2", "PushPull"]
+    };
+    let corner_n = n.min(1 << 10);
+    let mut corner_tbl = Table::new(
+        format!(
+            "E14d: restricted-addressing coverage (n = 2^{}, informed/alive)",
+            corner_n.trailing_zeros()
+        ),
+        &["algorithm/topology", "sync", "async:fixed"],
+    );
+    let mut head_restricted_async = f64::NAN;
+    for name in &corner_algos {
+        let algo = registry::by_name(name).expect("corner algorithms are registered");
+        for (tname, topo) in [
+            ("ring", Topology::Ring),
+            ("rr8", Topology::RandomRegular(8)),
+        ] {
+            let mut row = vec![format!("{name} on {tname}/restricted")];
+            for engine in [
+                Engine::Sync,
+                Engine::Async(Engine::profile("fixed").expect("fixed profile exists")),
+            ] {
+                let is_async = engine.is_async();
+                let scenario = Scenario::broadcast(corner_n)
+                    .topology(topo.clone())
+                    .addressing(DirectAddressing::Restricted)
+                    .engine(engine);
+                let label = format!("{name}/{tname}/restricted/async={is_async}");
+                let reps = par_map_trials(0xE14, &label, trials, |seed| {
+                    let r = algo.run(&scenario.clone().seed(seed));
+                    r.informed as f64 / r.alive as f64
+                });
+                let cov: f64 = reps.iter().sum::<f64>() / f64::from(trials);
+                if *name == head_name && tname == "rr8" && is_async {
+                    head_restricted_async = cov;
+                }
+                row.push(format!("{cov:.4}"));
+            }
+            corner_tbl.push_row(row);
+        }
+    }
+
+    bench.stop();
+    emit(&rounds_tbl, &opts);
+    println!();
+    emit(&vt_tbl, &opts);
+    println!();
+    emit(&msg_tbl, &opts);
+    println!();
+    emit(&corner_tbl, &opts);
+    println!();
+    println!(
+        "Reading: the step counts are engine-invariant for the\n\
+         bounded-schedule protocols — each asynchronous step drains its\n\
+         whole event cascade before the next begins, so the loglog-vs-log\n\
+         separation of E1 survives asynchrony untouched. What the\n\
+         asynchronous engine adds is a virtual-time tax per step (the\n\
+         ln(n)/lambda straggler wait plus the latency tail — compare the\n\
+         fixed and exponential columns) and slightly different message\n\
+         counts where pulls are answered mid-cascade with fresher state\n\
+         than the start-of-round snapshot. The restricted collapse of\n\
+         E11 persists under every schedule: it is a property of the\n\
+         contact graph, not of timing."
+    );
+    if opts.json {
+        let head_key = head_name.to_lowercase();
+        bench.metric("trials_per_cell", f64::from(trials));
+        bench.metric(format!("{head_key}_rounds_sync"), head_rounds_sync);
+        bench.metric(format!("{head_key}_rounds_async"), head_rounds_async);
+        bench.metric(format!("{head_key}_virtual_time_async"), head_vt_async);
+        bench.metric(format!("{head_key}_messages_per_node_sync"), head_msgs_sync);
+        bench.metric(
+            format!("{head_key}_messages_per_node_async"),
+            head_msgs_async,
+        );
+        bench.metric(
+            format!("{head_key}_restricted_coverage_async"),
+            head_restricted_async,
+        );
+        bench.finish();
+    }
+}

@@ -58,7 +58,9 @@ fn main() {
             let cell_trials = opts.cell_trials(trials, n);
             let reps = par_map_trials(0xE1, algo.name(), cell_trials, |seed| {
                 // --topo (default: complete) applies uniformly to every cell.
-                let r = algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)));
+                let r = algo.run(
+                    &opts.apply_engine(opts.apply_topology(Scenario::broadcast(n).seed(seed))),
+                );
                 (r.rounds as f64, r.messages_per_node())
             });
             let rounds: Vec<f64> = reps.iter().map(|&(r, _)| r).collect();
@@ -150,8 +152,10 @@ fn main() {
         for (algo, cells) in &data {
             for (&n, cell) in ns.iter().zip(cells) {
                 let seq = run_trials_seq(0xE1, algo.name(), opts.cell_trials(trials, n), |seed| {
-                    algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)))
-                        .rounds as f64
+                    algo.run(
+                        &opts.apply_engine(opts.apply_topology(Scenario::broadcast(n).seed(seed))),
+                    )
+                    .rounds as f64
                 });
                 assert_eq!(
                     seq,

@@ -47,11 +47,11 @@ fn main() {
         let mut payloads = Vec::new();
         for &n in &ns {
             let t = run_trials(0xE2, algo.name(), trials, |seed| {
-                algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)))
+                algo.run(&opts.apply_engine(opts.apply_topology(Scenario::broadcast(n).seed(seed))))
                     .messages_per_node()
             });
             let p = run_trials(0xE2B, algo.name(), trials, |seed| {
-                algo.run(&opts.apply_topology(Scenario::broadcast(n).seed(seed)))
+                algo.run(&opts.apply_engine(opts.apply_topology(Scenario::broadcast(n).seed(seed))))
                     .payload_messages_per_node()
             });
             totals.push(t.mean);

@@ -42,8 +42,9 @@ fn main() {
             let mut row = vec![algo.name().to_string(), b.to_string()];
             for &n in &ns {
                 let s = run_trials(0xE3, algo.name(), trials, |seed| {
-                    let r = algo
-                        .run(&opts.apply_topology(Scenario::broadcast(n).seed(seed).rumor_bits(b)));
+                    let r = algo.run(&opts.apply_engine(
+                        opts.apply_topology(Scenario::broadcast(n).seed(seed).rumor_bits(b)),
+                    ));
                     r.bits as f64 / (n as f64 * b as f64)
                 });
                 if algo.name() == algos[0].name()

@@ -20,6 +20,7 @@ fn main() {
     // The lower bound quantifies over *all* algorithms at once — there is
     // no algorithm to select.
     opts.warn_unused_topo("e4");
+    opts.warn_unused_engine("e4");
     opts.warn_fixed_algos("e4", &[]);
     let mut bench = BenchJson::start("e4", &opts);
     let (ns, trials): (Vec<usize>, u32) = if opts.full {

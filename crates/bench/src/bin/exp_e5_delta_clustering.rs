@@ -55,7 +55,7 @@ fn main() {
             let reps = par_map_trials(0xE5, &format!("d{e}n{n}"), trials, |seed| {
                 cluster3
                     .run_with_params(
-                        &opts.apply_topology(Scenario::broadcast(n).seed(seed)),
+                        &opts.apply_engine(opts.apply_topology(Scenario::broadcast(n).seed(seed))),
                         &delta_param,
                     )
                     .expect("delta is a valid Cluster3 parameter")
@@ -77,7 +77,7 @@ fn main() {
             let msgs: Summary = run_trials(0xE5B, &format!("d{e}n{n}"), trials, |seed| {
                 let rep = cluster3
                     .run_with_params(
-                        &opts.apply_topology(Scenario::broadcast(n).seed(seed)),
+                        &opts.apply_engine(opts.apply_topology(Scenario::broadcast(n).seed(seed))),
                         &delta_param,
                     )
                     .expect("delta is a valid Cluster3 parameter");

@@ -53,7 +53,7 @@ fn main() {
         let reps = par_map_trials(0xE6, &format!("d{delta}"), trials, |seed| {
             push_pull
                 .run_with_params(
-                    &opts.apply_topology(Scenario::broadcast(n).seed(seed)),
+                    &opts.apply_engine(opts.apply_topology(Scenario::broadcast(n).seed(seed))),
                     &delta_param,
                 )
                 .expect("delta is a valid ClusterPushPull parameter")

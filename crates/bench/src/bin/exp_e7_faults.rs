@@ -44,7 +44,8 @@ fn main() {
         for &frac in &fractions {
             let f = (n as f64 * frac) as usize;
             let reps = par_map_trials(0xE7, &format!("{}{frac}", algo.name()), trials, |seed| {
-                let r = algo.run(&opts.apply_topology(failure_scenario(n, f, seed)));
+                let r =
+                    algo.run(&opts.apply_engine(opts.apply_topology(failure_scenario(n, f, seed))));
                 (r.uninformed() as f64 / f as f64, r.rounds as f64)
             });
             let ratios: Vec<f64> = reps.iter().map(|&(u, _)| u).collect();

@@ -26,6 +26,7 @@ fn main() {
     // The ablations run Cluster2's internals against modified copies of
     // themselves — there is no algorithm to select.
     opts.warn_unused_topo("e8");
+    opts.warn_unused_engine("e8");
     opts.warn_fixed_algos("e8", &["Cluster2"]);
     let trials = opts.trials_or(if opts.full { 10 } else { 5 });
     let mut bench = BenchJson::start("e8", &opts);

@@ -54,9 +54,9 @@ fn main() {
         let mut rrow = vec![algo.name().to_string()];
         for &loss in &losses {
             let reps = par_map_trials(0xE9, &format!("{}{loss}", algo.name()), trials, |seed| {
-                let r = algo.run(
-                    &opts.apply_topology(Scenario::broadcast(n).seed(seed).message_loss(loss)),
-                );
+                let r = algo.run(&opts.apply_engine(
+                    opts.apply_topology(Scenario::broadcast(n).seed(seed).message_loss(loss)),
+                ));
                 (r.informed as f64 / r.alive as f64, r.rounds as f64)
             });
             let coverage: Vec<f64> = reps.iter().map(|&(c, _)| c).collect();

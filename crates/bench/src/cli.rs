@@ -17,6 +17,10 @@
 //!   load a SNAP-style edge list; unknown names exit listing the valid
 //!   ones);
 //! * `--list-topos` — print the topology catalog and exit;
+//! * `--engine <sync|async[:profile]>` — override the engine schedule
+//!   (case-insensitive, e.g. `async:uniform`; unknown names exit
+//!   listing the valid specs);
+//! * `--list-engines` — print the engine catalog and exit;
 //! * `--n <size>` — replace the size grid with a single `n`;
 //! * `--trials <k>` — override the per-cell trial count.
 //!
@@ -26,7 +30,7 @@
 
 use gossip_baselines::registry;
 use gossip_core::algo::Algorithm;
-use phonecall::Topology;
+use phonecall::{Engine, Topology};
 
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Clone, Debug, Default)]
@@ -47,6 +51,10 @@ pub struct Options {
     /// [`Topology::parse_spec`]). `None` leaves the experiment's default
     /// (the complete graph, or E11's own grid).
     pub topo: Option<Topology>,
+    /// Run under this engine schedule (parsed via
+    /// [`Engine::parse_spec`]). `None` leaves the experiment's default
+    /// (the synchronous engine, or E14's own sync × async grid).
+    pub engine: Option<Engine>,
     /// Replace the experiment's size grid with this single `n`.
     pub n: Option<usize>,
     /// Override the per-cell trial count.
@@ -106,6 +114,34 @@ impl Options {
         }
     }
 
+    /// Applies the `--engine` override (if any) onto a scenario; without
+    /// the flag the scenario — and with it every historical stdout — is
+    /// untouched.
+    #[must_use]
+    pub fn apply_engine(
+        &self,
+        scenario: gossip_core::algo::Scenario,
+    ) -> gossip_core::algo::Scenario {
+        match &self.engine {
+            Some(e) => scenario.engine(e.clone()),
+            None => scenario,
+        }
+    }
+
+    /// For experiments with no scenario to run under another engine
+    /// (E4's union graphs, E5/E6's `Δ` constructions): warns (on
+    /// stderr) that `--engine` is ignored — silence would let a user
+    /// record synchronous results believing they came from the
+    /// requested schedule.
+    pub fn warn_unused_engine(&self, experiment: &str) {
+        if let Some(e) = &self.engine {
+            eprintln!(
+                "{experiment} does not run on a scenario engine; ignoring --engine {}",
+                e.spec()
+            );
+        }
+    }
+
     /// For experiments whose algorithm set is fixed by construction:
     /// warns (on stderr) that `--algo` is ignored unless it names one of
     /// `runs` (an empty `runs` means the experiment has no algorithm
@@ -148,6 +184,7 @@ impl Options {
 enum Terminal {
     ListAlgos,
     ListTopos,
+    ListEngines,
     Error,
 }
 
@@ -165,6 +202,10 @@ pub fn parse() -> Options {
         }
         Err(Terminal::ListTopos) => {
             print!("{}", render_topo_list());
+            std::process::exit(0);
+        }
+        Err(Terminal::ListEngines) => {
+            print!("{}", render_engine_list());
             std::process::exit(0);
         }
         Err(Terminal::Error) => std::process::exit(2),
@@ -193,6 +234,7 @@ fn try_parse(args: impl Iterator<Item = String>) -> Result<Options, Terminal> {
             "--json" => o.json = true,
             "--list-algos" => return Err(Terminal::ListAlgos),
             "--list-topos" => return Err(Terminal::ListTopos),
+            "--list-engines" => return Err(Terminal::ListEngines),
             "--algo" => {
                 let name = value("--algo")?;
                 o.algo = Some(registry::by_name(&name).map_err(|e| {
@@ -203,6 +245,13 @@ fn try_parse(args: impl Iterator<Item = String>) -> Result<Options, Terminal> {
             "--topo" => {
                 let spec = value("--topo")?;
                 o.topo = Some(Topology::parse_spec(&spec).map_err(|e| {
+                    eprintln!("{e}");
+                    Terminal::Error
+                })?);
+            }
+            "--engine" => {
+                let spec = value("--engine")?;
+                o.engine = Some(Engine::parse_spec(&spec).map_err(|e| {
                     eprintln!("{e}");
                     Terminal::Error
                 })?);
@@ -263,6 +312,18 @@ pub fn render_topo_list() -> String {
         out.push_str(&format!("{spec:<32} {about}\n"));
     }
     out.push_str("\nselect one with --topo <name[:param]> (case-insensitive)\n");
+    out
+}
+
+/// The `--list-engines` listing: one line per engine catalog entry.
+#[must_use]
+pub fn render_engine_list() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<20} description\n", "spec"));
+    for (spec, about) in Engine::catalog() {
+        out.push_str(&format!("{spec:<20} {about}\n"));
+    }
+    out.push_str("\nselect one with --engine <sync|async[:profile]> (case-insensitive)\n");
     out
 }
 
@@ -351,6 +412,51 @@ mod tests {
         for (spec, _) in Topology::catalog() {
             assert!(listing.contains(spec), "missing {spec}");
         }
+    }
+
+    #[test]
+    fn engine_flag_matches_topo_flag_ergonomics() {
+        // Same case/separator-insensitive matching as --algo/--topo...
+        for spec in ["async:exp", "ASYNC:EXPONENTIAL", "Async:Exp"] {
+            let o = parse_vec(&["--engine", spec]).unwrap();
+            let e = o.engine.unwrap();
+            assert!(e.is_async(), "{spec}");
+            assert_eq!(e.spec(), "async:exponential", "{spec}");
+        }
+        let o = parse_vec(&["--engine=sync"]).unwrap();
+        assert_eq!(o.engine, Some(Engine::Sync));
+        // ...and the same clean error exit on unknown names.
+        assert!(matches!(
+            parse_vec(&["--engine", "lockstep"]),
+            Err(Terminal::Error)
+        ));
+        assert!(matches!(
+            parse_vec(&["--engine", "async:gaussian"]),
+            Err(Terminal::Error)
+        ));
+        assert!(matches!(
+            parse_vec(&["--list-engines"]),
+            Err(Terminal::ListEngines)
+        ));
+        let listing = render_engine_list();
+        for (spec, _) in Engine::catalog() {
+            assert!(listing.contains(spec), "missing {spec}");
+        }
+    }
+
+    #[test]
+    fn apply_engine_leaves_default_scenarios_untouched() {
+        use gossip_core::algo::Scenario;
+        let o = parse_vec(&[]).unwrap();
+        let s = Scenario::broadcast(64).seed(3);
+        assert_eq!(o.apply_engine(s.clone()), s);
+        let o = parse_vec(&["--engine", "async:fixed"]).unwrap();
+        assert!(o.apply_engine(s.clone()).common().engine.is_async());
+        assert_eq!(
+            s.common().engine,
+            Engine::Sync,
+            "builder copies, not mutates"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Shared helpers for the `exp_e1`…`exp_e13` experiment binaries (see
+//! Shared helpers for the `exp_e1`…`exp_e14` experiment binaries (see
 //! EXPERIMENTS.md): the shared [`cli`] flag parser, table helpers and the
 //! `BENCH_eK.json` perf-record writer.
 //!

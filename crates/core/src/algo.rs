@@ -22,7 +22,7 @@
 //! the trait impls here are thin wrappers over them, so every golden
 //! digest stays bit-identical whichever door a caller comes through.
 
-use phonecall::{ChurnConfig, DirectAddressing, FailurePlan, Topology, TrafficConfig};
+use phonecall::{ChurnConfig, DirectAddressing, Engine, FailurePlan, Topology, TrafficConfig};
 
 use crate::config::{Cluster1Config, Cluster2Config, Cluster3Config, CommonConfig, PushPullConfig};
 use crate::params::{ParamError, Value};
@@ -201,6 +201,28 @@ impl Scenario {
     #[must_use]
     pub fn addressing(mut self, mode: DirectAddressing) -> Self {
         self.common.addressing = mode;
+        self
+    }
+
+    /// Selects the execution engine (see `phonecall::events`):
+    /// [`Engine::Async`] drives every schedule step from a
+    /// deterministic event queue with exponential activation clocks
+    /// and sampled message latencies, its streams derived from this
+    /// scenario's run seed — so every algorithm facing this scenario
+    /// faces the *same* clock and latency timeline. [`Engine::Sync`]
+    /// (the default) restores lockstep rounds, bit-identical to
+    /// pre-async builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails `Engine::validate` (the message names
+    /// the offending knob).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        if let Err(e) = engine.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        self.common.engine = engine;
         self
     }
 

@@ -7,7 +7,10 @@
 //! were validated across `n ∈ [2^8, 2^20]` (see the integration tests and
 //! EXPERIMENTS.md).
 
-use phonecall::{ChurnConfig, DirectAddressing, FailurePlan, NodeIdx, Topology, TrafficConfig};
+use phonecall::{
+    AsyncConfig, ChurnConfig, DirectAddressing, Engine, FailurePlan, Latency, NodeIdx, Topology,
+    TrafficConfig,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::params::{err, ParamError, Value};
@@ -53,6 +56,13 @@ pub struct CommonConfig {
     /// per-round bandwidth budget. Inert by default, keeping runs
     /// bit-identical to pre-workload builds.
     pub traffic: TrafficConfig,
+    /// The execution engine (see `phonecall::events`):
+    /// [`Engine::Sync`] — the default — runs lockstep rounds and
+    /// installs nothing, keeping runs bit-identical to pre-async
+    /// builds; [`Engine::Async`] drives each schedule step from a
+    /// deterministic event queue with exponential activation clocks and
+    /// sampled message latencies.
+    pub engine: Engine,
 }
 
 impl Default for CommonConfig {
@@ -68,6 +78,7 @@ impl Default for CommonConfig {
             topology: Topology::Complete,
             addressing: DirectAddressing::Overlay,
             traffic: TrafficConfig::default(),
+            engine: Engine::Sync,
         }
     }
 }
@@ -84,6 +95,7 @@ impl CommonConfig {
         "topology",
         "addressing",
         "traffic",
+        "engine",
     ];
 
     /// Same configuration with a different seed (for multi-trial sweeps).
@@ -130,6 +142,7 @@ impl CommonConfig {
                 Value::Str(self.addressing.label().to_string()),
             ),
             ("traffic", traffic_params(&self.traffic)),
+            ("engine", engine_params(&self.engine)),
         ])
     }
 
@@ -172,6 +185,7 @@ impl CommonConfig {
                 "churn" => apply_churn_params(&mut self.churn, v)?,
                 "topology" => apply_topology_params(&mut self.topology, v)?,
                 "traffic" => apply_traffic_params(&mut self.traffic, v)?,
+                "engine" => apply_engine_params(&mut self.engine, v)?,
                 "addressing" => {
                     let label = v.as_str().ok_or_else(|| {
                         err(format!(
@@ -292,6 +306,149 @@ pub fn apply_traffic_params(t: &mut TrafficConfig, overrides: &Value) -> Result<
         }
     }
     t.validate().map_err(ParamError)
+}
+
+/// An [`Engine`] as a JSON object (the engine slice of
+/// [`CommonConfig::params`]): a `"mode"` tag (`"sync"` / `"async"`),
+/// and for the async engine the clock rate plus a kind-tagged latency
+/// object — so the execution model travels through files and perf
+/// records like any other tunable.
+#[must_use]
+pub fn engine_params(e: &Engine) -> Value {
+    match e {
+        Engine::Sync => Value::obj([("mode", Value::Str("sync".into()))]),
+        Engine::Async(cfg) => {
+            let latency = match cfg.latency {
+                Latency::Fixed(v) => Value::obj([
+                    ("kind", Value::Str("fixed".into())),
+                    ("value", Value::Num(v)),
+                ]),
+                Latency::Uniform(lo, hi) => Value::obj([
+                    ("kind", Value::Str("uniform".into())),
+                    ("lo", Value::Num(lo)),
+                    ("hi", Value::Num(hi)),
+                ]),
+                Latency::Exponential(mean) => Value::obj([
+                    ("kind", Value::Str("exponential".into())),
+                    ("mean", Value::Num(mean)),
+                ]),
+            };
+            Value::obj([
+                ("mode", Value::Str("async".into())),
+                ("rate", Value::Num(cfg.rate)),
+                ("latency", latency),
+            ])
+        }
+    }
+}
+
+const ENGINE_PARAM_KEYS: &[&str] = &["mode", "rate", "latency"];
+const LATENCY_KINDS: &[&str] = &["fixed", "uniform", "exponential"];
+
+/// Replaces an [`Engine`] from a JSON object (the inverse of
+/// [`engine_params`]): the `"mode"` tag selects the engine, `"rate"`
+/// and the kind-tagged `"latency"` object tune the async one (both
+/// optional — omitted knobs keep the async defaults), and the result
+/// must pass [`Engine::validate`].
+///
+/// # Errors
+///
+/// Rejects a missing or unknown `"mode"`, knobs on the sync engine,
+/// wrongly typed values, an unknown latency `"kind"` (listing the valid
+/// ones), and out-of-range knobs (naming the offending one).
+pub fn apply_engine_params(e: &mut Engine, overrides: &Value) -> Result<(), ParamError> {
+    let entries = overrides.expect_obj("engine parameters")?;
+    let knob = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let mode = knob("mode")
+        .ok_or_else(|| err("engine parameters need a \"mode\" key".to_string()))?
+        .as_str()
+        .ok_or_else(|| err("parameter \"mode\" wants a string".to_string()))?;
+    let built = match mode {
+        "sync" => {
+            if let Some((key, _)) = entries.iter().find(|(k, _)| k != "mode") {
+                return Err(err(format!(
+                    "engine mode \"sync\" has no knobs, got {key:?}"
+                )));
+            }
+            Engine::Sync
+        }
+        "async" => {
+            let mut cfg = AsyncConfig::default();
+            for (key, v) in entries {
+                match key.as_str() {
+                    "mode" => {}
+                    "rate" => cfg.rate = want_f64(key, v)?,
+                    "latency" => cfg.latency = latency_from_params(v)?,
+                    _ => return Err(unknown_key("engine", key, ENGINE_PARAM_KEYS)),
+                }
+            }
+            Engine::Async(cfg)
+        }
+        other => {
+            return Err(err(format!(
+                "engine mode wants \"sync\" or \"async\", got {other:?}"
+            )))
+        }
+    };
+    built.validate().map_err(ParamError)?;
+    *e = built;
+    Ok(())
+}
+
+/// Parses a kind-tagged latency object (see [`engine_params`]).
+fn latency_from_params(v: &Value) -> Result<Latency, ParamError> {
+    let entries = v.expect_obj("latency parameters")?;
+    let knob = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let kind = knob("kind")
+        .ok_or_else(|| err("latency parameters need a \"kind\" key".to_string()))?
+        .as_str()
+        .ok_or_else(|| err("parameter \"kind\" wants a string".to_string()))?;
+    let (built, valid_knobs): (Latency, &[&str]) = match kind {
+        "fixed" => {
+            let value = match knob("value") {
+                Some(v) => want_f64("value", v)?,
+                None => return Err(err("latency kind \"fixed\" needs \"value\"".to_string())),
+            };
+            (Latency::Fixed(value), &["value"])
+        }
+        "uniform" => {
+            let (lo, hi) = match (knob("lo"), knob("hi")) {
+                (Some(lo), Some(hi)) => (want_f64("lo", lo)?, want_f64("hi", hi)?),
+                _ => {
+                    return Err(err(
+                        "latency kind \"uniform\" needs \"lo\" and \"hi\"".to_string()
+                    ))
+                }
+            };
+            (Latency::Uniform(lo, hi), &["lo", "hi"])
+        }
+        "exponential" => {
+            let mean = match knob("mean") {
+                Some(v) => want_f64("mean", v)?,
+                None => {
+                    return Err(err(
+                        "latency kind \"exponential\" needs \"mean\"".to_string()
+                    ))
+                }
+            };
+            (Latency::Exponential(mean), &["mean"])
+        }
+        other => {
+            return Err(err(format!(
+                "unknown latency kind {other:?}; valid kinds: {}",
+                LATENCY_KINDS.join(", ")
+            )))
+        }
+    };
+    for (key, _) in entries {
+        if key != "kind" && !valid_knobs.contains(&key.as_str()) {
+            return Err(err(format!(
+                "latency kind {kind:?} does not take knob {key:?}; valid knobs: {}",
+                valid_knobs.join(", ")
+            )));
+        }
+    }
+    Ok(built)
 }
 
 /// A [`Topology`] as a JSON object (the topology half of
@@ -1103,6 +1260,122 @@ mod tests {
         .unwrap_err();
         assert!(e.0.contains("\"path\""), "{e}");
         assert_eq!(t, Topology::Complete, "failed applies leave the value");
+    }
+
+    #[test]
+    fn engine_params_round_trip_every_mode_and_latency() {
+        for engine in [
+            Engine::Sync,
+            Engine::Async(AsyncConfig::default()),
+            Engine::Async(AsyncConfig {
+                rate: 2.0,
+                latency: Latency::Fixed(0.25),
+            }),
+            Engine::Async(AsyncConfig {
+                rate: 0.5,
+                latency: Latency::Uniform(0.1, 1.5),
+            }),
+            Engine::Async(AsyncConfig {
+                rate: 1.0,
+                latency: Latency::Exponential(0.75),
+            }),
+        ] {
+            let doc = engine_params(&engine);
+            assert_eq!(Value::parse(&doc.render()).unwrap(), doc, "JSON stable");
+            let mut rebuilt = Engine::Sync;
+            apply_engine_params(&mut rebuilt, &doc).unwrap();
+            assert_eq!(rebuilt, engine, "apply(params()) is the identity");
+        }
+    }
+
+    #[test]
+    fn engine_apply_rejects_bad_modes_knobs_and_values() {
+        let mut e = Engine::Sync;
+        let err =
+            apply_engine_params(&mut e, &Value::parse(r#"{"rate": 1.0}"#).unwrap()).unwrap_err();
+        assert!(err.0.contains("\"mode\""), "{err}");
+        let err = apply_engine_params(&mut e, &Value::parse(r#"{"mode": "turbo"}"#).unwrap())
+            .unwrap_err();
+        assert!(err.0.contains("\"sync\" or \"async\""), "{err}");
+        let err = apply_engine_params(
+            &mut e,
+            &Value::parse(r#"{"mode": "sync", "rate": 1.0}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("no knobs"), "{err}");
+        let err = apply_engine_params(
+            &mut e,
+            &Value::parse(r#"{"mode": "async", "clock": 1.0}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("valid keys"), "{err}");
+        let err = apply_engine_params(
+            &mut e,
+            &Value::parse(r#"{"mode": "async", "rate": -1.0}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("rate"), "{err}");
+        let err = apply_engine_params(
+            &mut e,
+            &Value::parse(r#"{"mode": "async", "latency": {"kind": "gamma"}}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("valid kinds"), "{err}");
+        let err = apply_engine_params(
+            &mut e,
+            &Value::parse(r#"{"mode": "async", "latency": {"kind": "fixed"}}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("needs \"value\""), "{err}");
+        let err = apply_engine_params(
+            &mut e,
+            &Value::parse(r#"{"mode": "async", "latency": {"kind": "uniform", "lo": 0.5}}"#)
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("\"lo\" and \"hi\""), "{err}");
+        let err = apply_engine_params(
+            &mut e,
+            &Value::parse(
+                r#"{"mode": "async", "latency": {"kind": "fixed", "value": 0.5, "mean": 1.0}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("does not take knob"), "{err}");
+        let err = apply_engine_params(
+            &mut e,
+            &Value::parse(
+                r#"{"mode": "async", "latency": {"kind": "uniform", "lo": 2.0, "hi": 1.0}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("lo"), "{err}");
+        assert_eq!(e, Engine::Sync, "failed applies leave the value");
+
+        // Omitted knobs keep the async defaults.
+        apply_engine_params(&mut e, &Value::parse(r#"{"mode": "async"}"#).unwrap()).unwrap();
+        assert_eq!(e, Engine::Async(AsyncConfig::default()));
+    }
+
+    #[test]
+    fn common_params_round_trip_engine() {
+        let mut common = CommonConfig::default();
+        common.engine = Engine::Async(AsyncConfig {
+            rate: 2.0,
+            latency: Latency::Uniform(0.2, 0.9),
+        });
+        let doc = common.params();
+        let mut rebuilt = CommonConfig::default();
+        rebuilt
+            .apply_params(&Value::parse(&doc.render()).unwrap())
+            .unwrap();
+        assert_eq!(rebuilt, common, "apply(params()) is the identity");
+        assert!(
+            CommonConfig::PARAM_KEYS.contains(&"engine"),
+            "the engine must be addressable as a named override"
+        );
     }
 
     #[test]

@@ -40,8 +40,16 @@ pub struct RunReport {
     pub n: usize,
     /// Alive nodes (after time-0 failures).
     pub alive: usize,
-    /// Rounds used.
+    /// Rounds used. Under the asynchronous engine this counts *schedule
+    /// steps*, not elapsed time — see [`Self::virtual_time`].
     pub rounds: u64,
+    /// Elapsed continuous virtual time under the asynchronous engine
+    /// (the timestamp of the last processed event); `0.0` under the
+    /// synchronous engine, where `rounds` is the only clock.
+    pub virtual_time: f64,
+    /// Events (activations + message arrivals) processed by the
+    /// asynchronous engine; `0` under the synchronous engine.
+    pub events_processed: u64,
     /// Total messages.
     pub messages: u64,
     /// Payload-bearing messages (rumor transmissions + ID-carrying
@@ -133,6 +141,8 @@ mod tests {
             n: 100,
             alive: 90,
             rounds: 12,
+            virtual_time: 0.0,
+            events_processed: 0,
             messages: 500,
             payload_messages: 300,
             bits: 10_000,

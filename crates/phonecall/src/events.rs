@@ -1,0 +1,981 @@
+//! The **asynchronous event-driven engine**: a second execution mode for
+//! [`Network`] in which a round is no longer a lockstep barrier but a
+//! *window of timestamped events* drained from a deterministic queue.
+//!
+//! # Model
+//!
+//! Synchronous rounds (the paper's model, and [`Network::round`]'s
+//! default) fire every node simultaneously and deliver every message
+//! instantaneously. Under [`Engine::Async`] each schedule step instead
+//! plays out in continuous virtual time:
+//!
+//! * every alive node **activates once per step**, at an offset drawn
+//!   from its exponential activation clock (rate `λ` =
+//!   [`AsyncConfig::rate`]) — the classic asynchronous-gossip clock
+//!   model, renewed at each step so algorithm schedules keep their
+//!   meaning;
+//! * every message incurs a **latency** drawn from the configured
+//!   [`Latency`] distribution, so deliveries interleave with later
+//!   activations — in-flight messages straddle activation boundaries,
+//!   and a pull is answered from the responder's state *at request
+//!   arrival*, not from a start-of-round snapshot;
+//! * loss verdicts, churn boundary moves, topology gating and traffic
+//!   piggybacking all fire at event timestamps, with the same charging
+//!   rules as the synchronous engine.
+//!
+//! The step ends when the queue drains (activation chains are finite:
+//! an activation spawns at most one request, a request at most one
+//! reply), so causality across steps is preserved — algorithms with
+//! exact-round schedules (the oracle tree) still complete — while the
+//! *within*-step interleaving, response timing and message ordering are
+//! genuinely asynchronous. The run's continuous clock is exposed as
+//! [`Network::virtual_time`]; expect each step to cost `Θ(log n / λ)`
+//! virtual time (the maximum of `n` exponential clocks) plus the
+//! latency tail — the asynchrony tax the E14 experiment measures.
+//!
+//! # Determinism
+//!
+//! The queue is a binary heap ordered by [`EventKey`] — `(virtual_time,
+//! seq, node)` compared via [`f64::total_cmp`] — and every event carries
+//! a unique `seq`, so the order is *total*: no tie ever falls back on
+//! allocation order or hash state. Clock offsets, latencies and loss
+//! verdicts draw from three dedicated reserved streams
+//! ([`crate::rng::ASYNC_CLOCK_STREAM`] / [`ASYNC_LATENCY_STREAM`] /
+//! [`ASYNC_DELIVERY_STREAM`]), so installing [`Engine::Sync`] (the
+//! default) draws nothing at all and stays bit-identical to builds that
+//! predate this module — every pre-async golden digest still holds.
+//!
+//! [`ASYNC_LATENCY_STREAM`]: crate::rng::ASYNC_LATENCY_STREAM
+//! [`ASYNC_DELIVERY_STREAM`]: crate::rng::ASYNC_DELIVERY_STREAM
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::action::{Action, Delivery, Target};
+use crate::id::NodeIdx;
+use crate::metrics::RoundStats;
+use crate::network::{Network, NodeCtx};
+use crate::rng::{
+    derive_seed, rng_from_seed, ASYNC_CLOCK_STREAM, ASYNC_DELIVERY_STREAM, ASYNC_LATENCY_STREAM,
+};
+use crate::topology::DirectAddressing;
+use crate::trace::{Event, EventKind};
+use crate::wire::Wire;
+
+// ----------------------------------------------------------------------
+// Configuration
+// ----------------------------------------------------------------------
+
+/// Which engine executes [`Network::round`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Lockstep synchronous rounds: the paper's model and the default.
+    /// Installs nothing — runs are bit-identical to builds that predate
+    /// the asynchronous engine.
+    #[default]
+    Sync,
+    /// The event-driven engine of [`crate::events`]: exponential
+    /// activation clocks, sampled message latencies, a deterministic
+    /// `(time, seq, node)`-ordered queue.
+    Async(AsyncConfig),
+}
+
+/// Knobs of the asynchronous engine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AsyncConfig {
+    /// Rate `λ` of each node's exponential activation clock: the mean
+    /// activation offset within a step is `1/λ`.
+    pub rate: f64,
+    /// The message-latency distribution.
+    pub latency: Latency,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            rate: 1.0,
+            latency: Latency::default(),
+        }
+    }
+}
+
+impl AsyncConfig {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Err(format!(
+                "async engine rate must be positive and finite, got {}",
+                self.rate
+            ));
+        }
+        self.latency.validate()
+    }
+}
+
+/// A message-latency distribution (virtual time from send to arrival).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Latency {
+    /// Every message takes exactly this long.
+    Fixed(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform(f64, f64),
+    /// Exponential with the given mean (heavy right tail: stragglers).
+    Exponential(f64),
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::Fixed(0.5)
+    }
+}
+
+impl Latency {
+    /// Validates the distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Latency::Fixed(v) => {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "fixed latency must be finite and non-negative, got {v}"
+                    ));
+                }
+            }
+            Latency::Uniform(lo, hi) => {
+                if !lo.is_finite() || !hi.is_finite() || lo < 0.0 || hi <= lo {
+                    return Err(format!(
+                        "uniform latency wants 0 <= lo < hi (finite), got [{lo}, {hi})"
+                    ));
+                }
+            }
+            Latency::Exponential(mean) => {
+                if !mean.is_finite() || mean <= 0.0 {
+                    return Err(format!(
+                        "exponential latency mean must be positive and finite, got {mean}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable lowercase family label (the JSON `"kind"` value).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Latency::Fixed(_) => "fixed",
+            Latency::Uniform(..) => "uniform",
+            Latency::Exponential(_) => "exponential",
+        }
+    }
+
+    /// Draws one latency.
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        match *self {
+            Latency::Fixed(v) => v,
+            Latency::Uniform(lo, hi) => rng.gen_range(lo..hi),
+            Latency::Exponential(mean) => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                -u.ln() * mean
+            }
+        }
+    }
+}
+
+impl Engine {
+    /// Whether this is the asynchronous engine.
+    #[must_use]
+    pub fn is_async(&self) -> bool {
+        matches!(self, Engine::Async(_))
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Engine::Sync => Ok(()),
+            Engine::Async(cfg) => cfg.validate(),
+        }
+    }
+
+    /// Stable spec string: `"sync"`, or `"async:<profile>"` for the
+    /// named latency profiles (the `--engine` CLI syntax).
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match self {
+            Engine::Sync => "sync".into(),
+            Engine::Async(cfg) => format!("async:{}", cfg.latency.label()),
+        }
+    }
+
+    /// The named engine specs with one-line descriptions (the
+    /// `--list-engines` catalog).
+    #[must_use]
+    pub fn catalog() -> &'static [(&'static str, &'static str)] {
+        &[
+            (
+                "sync",
+                "lockstep synchronous rounds (the paper's model; default)",
+            ),
+            (
+                "async:fixed",
+                "event-driven, exponential clocks (rate 1), fixed latency 0.5",
+            ),
+            (
+                "async:uniform",
+                "event-driven, exponential clocks (rate 1), uniform latency [0.1, 1.0)",
+            ),
+            (
+                "async:exp",
+                "event-driven, exponential clocks (rate 1), exponential latency (mean 0.5)",
+            ),
+        ]
+    }
+
+    /// The [`AsyncConfig`] behind a named latency profile
+    /// (`"fixed"` / `"uniform"` / `"exp"`), case- and
+    /// separator-insensitive. `None` for unknown names.
+    #[must_use]
+    pub fn profile(name: &str) -> Option<AsyncConfig> {
+        match normalize(name).as_str() {
+            "fixed" => Some(AsyncConfig {
+                rate: 1.0,
+                latency: Latency::Fixed(0.5),
+            }),
+            "uniform" => Some(AsyncConfig {
+                rate: 1.0,
+                latency: Latency::Uniform(0.1, 1.0),
+            }),
+            "exp" | "exponential" => Some(AsyncConfig {
+                rate: 1.0,
+                latency: Latency::Exponential(0.5),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Parses an engine spec: `"sync"`, `"async"` (the default profile,
+    /// `fixed`), or `"async:<profile>"`. Matching is case- and
+    /// separator-insensitive, like the algorithm and topology registries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing every valid spec for anything else.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let (head, profile) = match spec.split_once(':') {
+            Some((h, p)) => (h, Some(p)),
+            None => (spec, None),
+        };
+        let invalid = || {
+            let specs: Vec<&str> = Self::catalog().iter().map(|&(s, _)| s).collect();
+            format!(
+                "unknown engine {spec:?}; valid specs (case-insensitive): {}",
+                specs.join(", ")
+            )
+        };
+        match (normalize(head).as_str(), profile) {
+            ("sync", None) => Ok(Engine::Sync),
+            ("async", None) => Ok(Engine::Async(AsyncConfig::default())),
+            ("async", Some(p)) => Engine::profile(p).map(Engine::Async).ok_or_else(invalid),
+            _ => Err(invalid()),
+        }
+    }
+}
+
+/// Case- and separator-insensitive key, matching the algorithm and
+/// topology registries.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// The event queue
+// ----------------------------------------------------------------------
+
+/// Total order over events: `(virtual_time, seq, node)`.
+///
+/// `time` compares via [`f64::total_cmp`] and `seq` is unique per event
+/// (a single counter stamps activations and messages alike), so the
+/// order is total and strict — heap pops are seed-reproducible with no
+/// dependence on insertion order.
+#[derive(Clone, Copy, Debug)]
+pub struct EventKey {
+    /// Virtual firing time.
+    pub time: f64,
+    /// Global stamp order (unique per event).
+    pub seq: u64,
+    /// The node the event fires *at* (activating node or recipient).
+    pub node: u32,
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for EventKey {}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+/// An in-flight message: fires at `key.time` at node `key.node`.
+pub(crate) struct MsgEv<M> {
+    pub(crate) key: EventKey,
+    /// The sending node (the puller, for replies the responder).
+    pub(crate) src: u32,
+    pub(crate) kind: MsgKind<M>,
+}
+
+/// What arrives when an in-flight message fires.
+pub(crate) enum MsgKind<M> {
+    /// A push payload; `lost` messages are charged but not delivered.
+    Push { msg: M, lost: bool },
+    /// A pull request. Both loss legs are verdicts drawn at send time
+    /// (mirroring the synchronous engine's unconditional two-leg draw):
+    /// a `lost` request never reaches the responder, a lost reply
+    /// (`rep_lost`) is sent — and charged — but never arrives.
+    PullReq { lost: bool, rep_lost: bool },
+    /// A pull reply carrying the responder's answer back to the puller.
+    PullReply { msg: M, lost: bool },
+}
+
+impl<M> PartialEq for MsgEv<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<M> Eq for MsgEv<M> {}
+
+impl<M> PartialOrd for MsgEv<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for MsgEv<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Type-erased holder for the in-flight message heap (one per message
+/// type `M`, like the scratch cell): consecutive rounds with the same
+/// `M` reuse the same allocation, which grows to its steady-state
+/// high-water mark and then stays put. Unlike the scratch cell, `take`
+/// does **not** clear the heap — in-flight events persist across the
+/// take/put cycle (a phase switching message types drops the old
+/// heap, which is empty between rounds: the event loop drains it).
+#[derive(Default)]
+pub(crate) struct InflightCell(Option<Box<dyn Any>>);
+
+impl InflightCell {
+    // The `Box` around the heap is deliberate, not an accident the lint
+    // should flag: `take`/`put` shuttle the *same* box through the
+    // `dyn Any` slot every round, so no allocation happens per cycle —
+    // unboxing would force `put` to re-box (one allocation per round),
+    // breaking the steady-state allocation-freedom contract.
+    #[allow(clippy::box_collection)]
+    pub(crate) fn take<M: 'static>(&mut self) -> Box<BinaryHeap<Reverse<MsgEv<M>>>> {
+        match self
+            .0
+            .take()
+            .map(Box::<dyn Any>::downcast::<BinaryHeap<Reverse<MsgEv<M>>>>)
+        {
+            Some(Ok(heap)) => heap,
+            _ => Box::new(BinaryHeap::new()),
+        }
+    }
+
+    #[allow(clippy::box_collection)]
+    pub(crate) fn put<M: 'static>(&mut self, heap: Box<BinaryHeap<Reverse<MsgEv<M>>>>) {
+        self.0 = Some(heap);
+    }
+}
+
+impl fmt::Debug for InflightCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "InflightCell(warm)"
+        } else {
+            "InflightCell(empty)"
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Engine state
+// ----------------------------------------------------------------------
+
+/// The asynchronous engine's run state: the three reserved random
+/// streams, the activation-clock heap, the global event stamp and the
+/// continuous clock. Boxed on [`Network`] so [`Engine::Sync`] costs one
+/// `Option` discriminant.
+#[derive(Debug)]
+pub(crate) struct AsyncState {
+    cfg: AsyncConfig,
+    /// Activation-clock offsets (reserved stream 7).
+    clock_rng: SmallRng,
+    /// Message latencies (reserved stream 8).
+    latency_rng: SmallRng,
+    /// Loss verdicts (reserved stream 9; the synchronous engine draws
+    /// these from the engine stream, but the async draw *order* differs,
+    /// so they get a stream of their own).
+    delivery_rng: SmallRng,
+    /// Pending activations, min-heap. Capacity `n` — exactly one
+    /// activation per node per round, pushed into an empty heap — so
+    /// the steady-state loop never reallocates it.
+    clocks: BinaryHeap<Reverse<EventKey>>,
+    seq: u64,
+    virtual_time: f64,
+    events: u64,
+}
+
+impl AsyncState {
+    pub(crate) fn new(cfg: AsyncConfig, n: usize, seed: u64) -> Self {
+        AsyncState {
+            clock_rng: rng_from_seed(derive_seed(seed, ASYNC_CLOCK_STREAM)),
+            latency_rng: rng_from_seed(derive_seed(seed, ASYNC_LATENCY_STREAM)),
+            delivery_rng: rng_from_seed(derive_seed(seed, ASYNC_DELIVERY_STREAM)),
+            clocks: BinaryHeap::with_capacity(n),
+            seq: 0,
+            virtual_time: 0.0,
+            events: 0,
+            cfg,
+        }
+    }
+
+    pub(crate) fn virtual_time(&self) -> f64 {
+        self.virtual_time
+    }
+
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Stamps the next event key.
+    fn next_key(&mut self, time: f64, node: u32) -> EventKey {
+        let seq = self.seq;
+        self.seq += 1;
+        EventKey { time, seq, node }
+    }
+
+    /// One exponential activation gap (mean `1/rate`).
+    fn clock_gap(&mut self) -> f64 {
+        let u: f64 = self.clock_rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.cfg.rate
+    }
+
+    /// One message latency.
+    fn latency(&mut self) -> f64 {
+        self.cfg.latency.sample(&mut self.latency_rng)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The event-driven round
+// ----------------------------------------------------------------------
+
+impl<S> Network<S> {
+    /// Executes one schedule step of [`Network::round`] on the
+    /// asynchronous engine: schedules every node's activation at an
+    /// exponential clock offset, then drains activations and in-flight
+    /// message arrivals in `(time, seq, node)` order. Charging, tracing
+    /// and fan-in accounting mirror the synchronous phases exactly; the
+    /// differences are semantic — deliveries land mid-step, pulls are
+    /// answered from current state at request arrival, and every
+    /// ordering decision is a timestamp.
+    pub(crate) fn round_async<M: Wire + 'static>(
+        &mut self,
+        mut decide: impl FnMut(NodeCtx<'_, S>, &mut SmallRng) -> Action<M>,
+        mut respond: impl FnMut(&S) -> Option<M>,
+        mut deliver: impl FnMut(&mut S, Delivery<M>),
+    ) -> RoundStats {
+        let n = self.len();
+        let n32 = n as u32;
+        let mut stats = RoundStats {
+            round: self.round,
+            ..Default::default()
+        };
+
+        // Boundary events, exactly as the synchronous engine: the
+        // dynamic adversary and the workload move once per schedule
+        // step, before any activation of the step fires. Burst loss
+        // composes with the base knob for the step's sends.
+        let mut loss = self.loss;
+        if let Some(churn) = self.churn.as_mut() {
+            let ev = churn.advance(self.round, &mut self.alive);
+            self.alive_count = self.alive_count + ev.recovered as usize - ev.crashed as usize;
+            self.metrics.crashes += u64::from(ev.crashed);
+            self.metrics.recoveries += u64::from(ev.recovered);
+            if ev.bursting {
+                self.metrics.burst_rounds += 1;
+                loss = 1.0 - (1.0 - loss) * (1.0 - churn.extra_loss());
+            }
+        }
+        if let Some(tp) = self.traffic.as_mut() {
+            self.metrics.rumors_started += u64::from(tp.begin_round(self.round));
+        }
+
+        // Sparse fan-in reset (see the synchronous engine).
+        for wi in 0..self.touched.words().len() {
+            if self.touched.words()[wi] != 0 {
+                let start = wi * 64;
+                let end = (start + 64).min(n);
+                self.fan_in[start..end].fill(0);
+            }
+        }
+        self.touched.clear_all();
+
+        let mut axs = self
+            .async_state
+            .take()
+            .expect("round_async dispatched without async state");
+        let mut msgs = self.inflight.take::<M>();
+        // Pre-size the event pool: at any instant at most one in-flight
+        // message exists per node (an activation's single send, or the
+        // reply that replaces its request when the request pops), so
+        // capacity `n` makes the drain loop allocation-free from the
+        // first step — no warm-up-dependent high-water mark.
+        if msgs.capacity() < n {
+            msgs.reserve(n - msgs.len());
+        }
+
+        // Schedule this step's activations: one exponential clock offset
+        // per node, dead or alive — dead nodes are skipped at fire time,
+        // so the clock stream never depends on the churn history.
+        let t0 = axs.virtual_time;
+        for i in 0..n32 {
+            let gap = axs.clock_gap();
+            let key = axs.next_key(t0 + gap, i);
+            axs.clocks.push(Reverse(key));
+        }
+
+        // Drain the queue in (time, seq, node) order, merging the two
+        // heaps by their tops. Chains are finite (activation → at most
+        // one request → at most one reply), so the step terminates.
+        loop {
+            let fire_msg = match (axs.clocks.peek(), msgs.peek()) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(Reverse(c)), Some(Reverse(m))) => m.key < *c,
+            };
+            axs.events += 1;
+            if !fire_msg {
+                // An activation: the node decides, exactly as a
+                // synchronous phase-1 visit, and any send goes in
+                // flight with a sampled latency.
+                let Some(Reverse(key)) = axs.clocks.pop() else {
+                    unreachable!()
+                };
+                axs.virtual_time = key.time;
+                let i = key.node as usize;
+                if !self.alive.get(i) {
+                    continue;
+                }
+                let idx = NodeIdx(key.node);
+                let ctx = NodeCtx {
+                    idx,
+                    id: self.ids.id_of(idx),
+                    state: &self.states[i],
+                    round: self.round,
+                };
+                let action = decide(ctx, &mut self.rng);
+                let target = match &action {
+                    Action::Idle => continue,
+                    Action::Push { to, .. } => *to,
+                    Action::Pull { to } => *to,
+                };
+                stats.initiators += 1;
+                self.fan_in[i] += 1;
+                self.touched.set(i);
+                let dst = match target {
+                    Target::Random => match self.topo.as_mut() {
+                        None => {
+                            if n32 == 1 {
+                                continue; // nobody to talk to
+                            }
+                            Self::sample_other(&mut self.rng, n32, idx)
+                        }
+                        Some(view) => {
+                            match view
+                                .adj
+                                .sample_alive_neighbor(&mut view.rng, idx, &self.alive)
+                            {
+                                Some(d) => d,
+                                None => continue,
+                            }
+                        }
+                    },
+                    Target::Direct(id) => match self.ids.resolve(id) {
+                        Some(d) => {
+                            if let Some(view) = &self.topo {
+                                if view.mode == DirectAddressing::Restricted
+                                    && !view.adj.contains_edge(idx.0, d.0)
+                                {
+                                    continue;
+                                }
+                            }
+                            d
+                        }
+                        None => continue,
+                    },
+                };
+                let arrive = key.time + axs.latency();
+                match action {
+                    Action::Push { msg, .. } => {
+                        let lost = loss > 0.0 && axs.delivery_rng.gen_bool(loss);
+                        let k = axs.next_key(arrive, dst.0);
+                        msgs.push(Reverse(MsgEv {
+                            key: k,
+                            src: idx.0,
+                            kind: MsgKind::Push { msg, lost },
+                        }));
+                    }
+                    Action::Pull { .. } => {
+                        // Both legs sampled at send time, unconditionally
+                        // when the knob is on — the delivery stream never
+                        // depends on the first verdict (mirrors the
+                        // synchronous engine's phase 2).
+                        let mut lost = false;
+                        let mut rep_lost = false;
+                        if loss > 0.0 {
+                            lost = axs.delivery_rng.gen_bool(loss);
+                            rep_lost = axs.delivery_rng.gen_bool(loss);
+                        }
+                        let k = axs.next_key(arrive, dst.0);
+                        msgs.push(Reverse(MsgEv {
+                            key: k,
+                            src: idx.0,
+                            kind: MsgKind::PullReq { lost, rep_lost },
+                        }));
+                    }
+                    Action::Idle => unreachable!(),
+                }
+                continue;
+            }
+
+            // A message arrival.
+            let Some(Reverse(ev)) = msgs.pop() else {
+                unreachable!()
+            };
+            axs.virtual_time = ev.key.time;
+            let t = ev.key.time;
+            let src = NodeIdx(ev.src);
+            let dst = NodeIdx(ev.key.node);
+            let d = dst.as_usize();
+            match ev.kind {
+                MsgKind::Push { msg, lost } => {
+                    let alive = self.alive.get(d);
+                    let delivered = alive && !lost;
+                    let mut bits = self.header_bits + msg.size_bits();
+                    if delivered {
+                        if let Some(tp) = self.traffic.as_mut() {
+                            let tr = tp.on_payload(src.0, dst.0);
+                            bits += u64::from(tr.transferred) * tp.rumor_bits();
+                            self.metrics.rumor_payloads += u64::from(tr.transferred);
+                            self.metrics.budget_drops += u64::from(tr.dropped);
+                        }
+                    }
+                    stats.messages += 1;
+                    stats.bits += bits;
+                    self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                    self.metrics.pushes += 1;
+                    self.metrics.payload_messages += 1;
+                    self.fan_in[d] += 1;
+                    self.touched.set(d);
+                    let kind = if delivered {
+                        EventKind::Push
+                    } else if alive {
+                        EventKind::DroppedLost
+                    } else {
+                        EventKind::DroppedDead
+                    };
+                    self.trace.record(Event {
+                        round: self.round,
+                        from: src,
+                        to: dst,
+                        kind,
+                    });
+                    if delivered {
+                        deliver(
+                            &mut self.states[d],
+                            Delivery::Push {
+                                from: self.ids.id_of(src),
+                                msg,
+                            },
+                        );
+                    }
+                }
+                MsgKind::PullReq { lost, rep_lost } => {
+                    // The request: header-only, sender-paid whether or
+                    // not it arrives (same charging as the synchronous
+                    // phase 4). A lost request charges no responder-side
+                    // fan-in and produces no reply or notification.
+                    stats.messages += 1;
+                    stats.bits += self.header_bits;
+                    self.metrics.pull_requests += 1;
+                    if lost {
+                        self.trace.record(Event {
+                            round: self.round,
+                            from: src,
+                            to: dst,
+                            kind: EventKind::DroppedLost,
+                        });
+                        continue;
+                    }
+                    self.fan_in[d] += 1;
+                    self.touched.set(d);
+                    self.trace.record(Event {
+                        round: self.round,
+                        from: src,
+                        to: dst,
+                        kind: EventKind::PullRequest,
+                    });
+                    if !self.alive.get(d) {
+                        continue;
+                    }
+                    // Asynchronous semantics: the response reads the
+                    // responder's state *now*, at request arrival — not
+                    // a start-of-round snapshot — and the pulled-by
+                    // notification lands immediately.
+                    let resp = respond(&self.states[d]);
+                    deliver(&mut self.states[d], Delivery::PulledBy(self.ids.id_of(src)));
+                    if let Some(msg) = resp {
+                        let arrive = t + axs.latency();
+                        let k = axs.next_key(arrive, src.0);
+                        msgs.push(Reverse(MsgEv {
+                            key: k,
+                            src: dst.0,
+                            kind: MsgKind::PullReply {
+                                msg,
+                                lost: rep_lost,
+                            },
+                        }));
+                    }
+                }
+                MsgKind::PullReply { msg, lost } => {
+                    // The responder sent the reply, so it is charged in
+                    // full even when the return leg drops it.
+                    let delivered = !lost;
+                    let mut bits = self.header_bits + msg.size_bits();
+                    if delivered {
+                        if let Some(tp) = self.traffic.as_mut() {
+                            let tr = tp.on_payload(src.0, dst.0);
+                            bits += u64::from(tr.transferred) * tp.rumor_bits();
+                            self.metrics.rumor_payloads += u64::from(tr.transferred);
+                            self.metrics.budget_drops += u64::from(tr.dropped);
+                        }
+                    }
+                    stats.messages += 1;
+                    stats.bits += bits;
+                    self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                    self.metrics.pull_replies += 1;
+                    self.metrics.payload_messages += 1;
+                    if delivered {
+                        self.trace.record(Event {
+                            round: self.round,
+                            from: src,
+                            to: dst,
+                            kind: EventKind::PullReply,
+                        });
+                        deliver(
+                            &mut self.states[d],
+                            Delivery::PullReply {
+                                from: self.ids.id_of(src),
+                                msg,
+                            },
+                        );
+                    } else {
+                        self.trace.record(Event {
+                            round: self.round,
+                            from: src,
+                            to: dst,
+                            kind: EventKind::DroppedLost,
+                        });
+                    }
+                }
+            }
+        }
+        self.inflight.put(msgs);
+        self.async_state = Some(axs);
+
+        // End-of-step workload and fan-in bookkeeping, as the
+        // synchronous tail.
+        if let Some(tp) = self.traffic.as_mut() {
+            self.metrics.rumors_completed += u64::from(tp.end_round(self.round, &self.alive));
+        }
+        let mut max_fan = 0u32;
+        for (wi, &word) in self.touched.words().iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let i = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                max_fan = max_fan.max(self.fan_in[i]);
+            }
+        }
+        stats.max_fan_in = u64::from(max_fan);
+        self.metrics.rounds += 1;
+        self.metrics.messages += stats.messages;
+        self.metrics.bits += stats.bits;
+        self.metrics.max_fan_in = self.metrics.max_fan_in.max(stats.max_fan_in);
+        self.metrics.per_round.push(stats);
+        self.round += 1;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_key_order_is_time_then_seq_then_node() {
+        let a = EventKey {
+            time: 1.0,
+            seq: 5,
+            node: 9,
+        };
+        let b = EventKey {
+            time: 2.0,
+            seq: 1,
+            node: 0,
+        };
+        assert!(a < b, "earlier time wins");
+        let c = EventKey {
+            time: 1.0,
+            seq: 6,
+            node: 0,
+        };
+        assert!(a < c, "seq breaks time ties");
+        let d = EventKey {
+            time: 1.0,
+            seq: 5,
+            node: 10,
+        };
+        assert!(a < d, "node breaks (time, seq) ties");
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn parse_spec_accepts_profiles_and_separators() {
+        assert_eq!(Engine::parse_spec("sync").unwrap(), Engine::Sync);
+        assert_eq!(Engine::parse_spec("SYNC").unwrap(), Engine::Sync);
+        assert_eq!(
+            Engine::parse_spec("async").unwrap(),
+            Engine::Async(AsyncConfig::default())
+        );
+        assert_eq!(
+            Engine::parse_spec("Async:Fixed").unwrap(),
+            Engine::Async(AsyncConfig {
+                rate: 1.0,
+                latency: Latency::Fixed(0.5),
+            })
+        );
+        assert_eq!(
+            Engine::parse_spec("async:EXPONENTIAL").unwrap(),
+            Engine::parse_spec("async:exp").unwrap()
+        );
+        assert!(matches!(
+            Engine::parse_spec("async:uniform").unwrap(),
+            Engine::Async(AsyncConfig {
+                latency: Latency::Uniform(..),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn parse_spec_rejects_unknown_names_listing_specs() {
+        for bad in ["warp", "async:bimodal", "sync:fixed"] {
+            let err = Engine::parse_spec(bad).unwrap_err();
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+            for (spec, _) in Engine::catalog() {
+                assert!(err.contains(spec), "{err} missing {spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_names_the_offending_knob() {
+        let bad_rate = AsyncConfig {
+            rate: 0.0,
+            ..AsyncConfig::default()
+        };
+        assert!(bad_rate.validate().unwrap_err().contains("rate"));
+        assert!(Latency::Fixed(-1.0)
+            .validate()
+            .unwrap_err()
+            .contains("fixed"));
+        assert!(Latency::Uniform(2.0, 1.0)
+            .validate()
+            .unwrap_err()
+            .contains("uniform"));
+        assert!(Latency::Exponential(f64::NAN)
+            .validate()
+            .unwrap_err()
+            .contains("exponential"));
+        assert!(Engine::Sync.validate().is_ok());
+        assert!(Engine::Async(AsyncConfig::default()).validate().is_ok());
+    }
+
+    #[test]
+    fn latency_samples_respect_their_support() {
+        let mut rng = rng_from_seed(7);
+        for _ in 0..256 {
+            assert_eq!(Latency::Fixed(0.25).sample(&mut rng), 0.25);
+            let u = Latency::Uniform(0.1, 1.0).sample(&mut rng);
+            assert!((0.1..1.0).contains(&u), "{u}");
+            let e = Latency::Exponential(0.5).sample(&mut rng);
+            assert!(e > 0.0 && e.is_finite(), "{e}");
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_parse() {
+        for (spec, _) in Engine::catalog() {
+            let engine = Engine::parse_spec(spec).unwrap();
+            // `exp` is shorthand; the canonical spec spells the family out.
+            let want = if *spec == "async:exp" {
+                "async:exponential"
+            } else {
+                *spec
+            };
+            assert_eq!(engine.spec(), want);
+        }
+    }
+}

@@ -64,6 +64,14 @@
 //! lists parsed, cached in a checksummed binary CSR, and measured with
 //! a HyperBall diameter estimator — see [`dataset`].
 //!
+//! Rounds are lockstep by default, but [`Network::set_engine`] swaps in
+//! the **asynchronous event-driven engine** ([`Engine::Async`] /
+//! [`events`]): per-node exponential activation clocks, sampled message
+//! latencies, and a deterministic `(virtual_time, seq, node)`-ordered
+//! event queue, with the continuous clock exposed as
+//! [`Network::virtual_time`]. [`Engine::Sync`] installs nothing, so
+//! synchronous runs stay bit-identical to pre-async builds.
+//!
 //! # Determinism
 //!
 //! All randomness flows from a single `u64` seed. Given `(n, seed)` and the
@@ -111,6 +119,7 @@ mod bitset;
 mod churn;
 pub mod dataset;
 mod error;
+pub mod events;
 mod failure;
 mod id;
 mod metrics;
@@ -125,11 +134,14 @@ pub use action::{Action, Delivery, Target};
 pub use bitset::BitSet;
 pub use churn::{AdversarySchedule, ChurnConfig, ChurnRound};
 pub use error::PhoneCallError;
+pub use events::{AsyncConfig, Engine, EventKey, Latency};
 pub use failure::FailurePlan;
 pub use id::{IdSpace, NodeId, NodeIdx};
 pub use metrics::{Metrics, RoundStats};
 pub use network::{Network, NodeCtx};
-pub use rng::{derive_seed, rng_from_seed};
+pub use rng::{
+    derive_seed, rng_from_seed, ASYNC_CLOCK_STREAM, ASYNC_DELIVERY_STREAM, ASYNC_LATENCY_STREAM,
+};
 pub use topology::{normalize_adjacency, Adjacency, DirectAddressing, Topology};
 pub use trace::{Event, EventKind, Trace};
 pub use traffic::{RumorStatus, TrafficConfig, TrafficPlan};

@@ -27,6 +27,7 @@ use rand::Rng;
 use crate::action::{Action, Delivery, Target};
 use crate::bitset::BitSet;
 use crate::churn::{AdversarySchedule, ChurnConfig};
+use crate::events::{AsyncState, Engine, InflightCell};
 use crate::failure::FailurePlan;
 use crate::id::{IdSpace, NodeId, NodeIdx};
 use crate::metrics::{Metrics, RoundStats};
@@ -55,39 +56,48 @@ pub struct NodeCtx<'a, S> {
 /// end-to-end example.
 #[derive(Debug)]
 pub struct Network<S> {
-    ids: IdSpace,
-    states: Vec<S>,
+    pub(crate) ids: IdSpace,
+    pub(crate) states: Vec<S>,
     /// Packed alive mask (one bit per node); the count is maintained
     /// incrementally so [`Self::alive_count`] is O(1).
-    alive: BitSet,
-    alive_count: usize,
-    round: u64,
-    rng: SmallRng,
-    metrics: Metrics,
-    header_bits: u64,
-    trace: Trace,
+    pub(crate) alive: BitSet,
+    pub(crate) alive_count: usize,
+    pub(crate) round: u64,
+    pub(crate) rng: SmallRng,
+    pub(crate) metrics: Metrics,
+    pub(crate) header_bits: u64,
+    pub(crate) trace: Trace,
     /// Independent per-message loss probability (transient link failures;
     /// 0.0 = reliable links, the paper's base model).
-    loss: f64,
+    pub(crate) loss: f64,
     /// The dynamic adversary, if one is attached (see [`ChurnConfig`]):
     /// applied at the start of every round, from its own random stream.
-    churn: Option<AdversarySchedule>,
+    pub(crate) churn: Option<AdversarySchedule>,
     /// The restricted contact graph, if one is installed (see
     /// [`Topology`] / [`Self::set_topology`]). `None` — the complete
     /// graph — keeps the engine on its original sampling path.
-    topo: Option<TopologyView>,
+    pub(crate) topo: Option<TopologyView>,
     /// The multi-rumor workload, if one is attached (see
     /// [`TrafficConfig`] / [`Self::set_traffic`]): rumors arrive at the
     /// round boundary and piggyback on delivered payload messages.
-    traffic: Option<TrafficPlan>,
+    pub(crate) traffic: Option<TrafficPlan>,
     // Scratch buffers reused across rounds to avoid per-round allocation.
-    fan_in: Vec<u32>,
+    pub(crate) fan_in: Vec<u32>,
     /// Nodes contacted this round (initiations + incoming deliveries):
     /// exactly the nodes whose `fan_in` entry is nonzero. Lets the next
     /// round zero `fan_in` 64 nodes at a time and the fan-in maximum
     /// skip untouched regions instead of scanning all `n` counters.
-    touched: BitSet,
+    pub(crate) touched: BitSet,
     scratch: ScratchCell,
+    /// The asynchronous engine's state when [`Engine::Async`] is
+    /// installed (see [`crate::events`]); `None` — the default — keeps
+    /// [`Self::round`] on the synchronous path, bit-identical to builds
+    /// that predate the event engine.
+    pub(crate) async_state: Option<Box<AsyncState>>,
+    /// In-flight message heap of the asynchronous engine (type-erased
+    /// per message type, like `scratch`). Unused — and empty — under
+    /// [`Engine::Sync`].
+    pub(crate) inflight: InflightCell,
 }
 
 /// A materialized topology installed on a network: the CSR adjacency
@@ -95,10 +105,10 @@ pub struct Network<S> {
 /// direct-addressing mode, and the neighbor-sampling RNG, a stream of
 /// its own so the engine RNG draws exactly what it always drew.
 #[derive(Debug)]
-struct TopologyView {
-    adj: Adjacency,
-    mode: DirectAddressing,
-    rng: SmallRng,
+pub(crate) struct TopologyView {
+    pub(crate) adj: Adjacency,
+    pub(crate) mode: DirectAddressing,
+    pub(crate) rng: SmallRng,
 }
 
 /// Per-round scratch for one message type `M`, laid out struct-of-arrays:
@@ -290,7 +300,63 @@ impl<S> Network<S> {
             fan_in: vec![0; n],
             touched: BitSet::new(n),
             scratch: ScratchCell::default(),
+            async_state: None,
+            inflight: InflightCell::default(),
         }
+    }
+
+    /// Selects the execution engine (see [`Engine`] / [`crate::events`]).
+    ///
+    /// [`Engine::Sync`] — the default — installs nothing and draws
+    /// nothing: runs are bit-identical to builds that predate the
+    /// asynchronous engine. [`Engine::Async`] attaches the event-driven
+    /// engine, whose activation clocks, message latencies and loss
+    /// verdicts draw from three reserved streams derived from `seed`
+    /// (labels [`crate::rng::ASYNC_CLOCK_STREAM`] /
+    /// [`ASYNC_LATENCY_STREAM`] / [`ASYNC_DELIVERY_STREAM`]), independent
+    /// of the engine RNG. Switching engines resets the continuous clock
+    /// and drops any in-flight heap.
+    ///
+    /// [`ASYNC_LATENCY_STREAM`]: crate::rng::ASYNC_LATENCY_STREAM
+    /// [`ASYNC_DELIVERY_STREAM`]: crate::rng::ASYNC_DELIVERY_STREAM
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`Engine::validate`].
+    pub fn set_engine(&mut self, engine: Engine, seed: u64) {
+        self.async_state = match engine {
+            Engine::Sync => None,
+            Engine::Async(cfg) => {
+                if let Err(e) = cfg.validate() {
+                    panic!("invalid async engine config: {e}");
+                }
+                Some(Box::new(AsyncState::new(cfg, self.len(), seed)))
+            }
+        };
+        self.inflight = InflightCell::default();
+    }
+
+    /// Whether the asynchronous engine is installed.
+    #[must_use]
+    pub fn engine_is_async(&self) -> bool {
+        self.async_state.is_some()
+    }
+
+    /// The continuous virtual clock of the asynchronous engine: the
+    /// timestamp of the last processed event. `0.0` under
+    /// [`Engine::Sync`], where rounds are the only clock.
+    #[must_use]
+    pub fn virtual_time(&self) -> f64 {
+        self.async_state.as_ref().map_or(0.0, |a| a.virtual_time())
+    }
+
+    /// Total events (activations + message arrivals) processed by the
+    /// asynchronous engine. `0` under [`Engine::Sync`].
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.async_state
+            .as_ref()
+            .map_or(0, |a| a.events_processed())
     }
 
     /// Sets the independent per-message loss probability (transient link
@@ -520,7 +586,7 @@ impl<S> Network<S> {
     /// Works entirely in the `u32` index domain — node counts fit `u32`
     /// by construction ([`IdSpace::new`] asserts it), so no per-call
     /// `usize` round-trip re-derives the bound.
-    fn sample_other(rng: &mut SmallRng, n: u32, src: NodeIdx) -> NodeIdx {
+    pub(crate) fn sample_other(rng: &mut SmallRng, n: u32, src: NodeIdx) -> NodeIdx {
         debug_assert!(n > 1, "sampling requires at least two nodes");
         loop {
             let cand = NodeIdx(rng.gen_range(0..n));
@@ -563,6 +629,12 @@ impl<S> Network<S> {
         mut respond: impl FnMut(&S) -> Option<M>,
         mut deliver: impl FnMut(&mut S, Delivery<M>),
     ) -> RoundStats {
+        // The asynchronous engine, if installed, runs the step as a
+        // drained event queue instead of lockstep phases (see
+        // [`crate::events`]); the closures and accounting are shared.
+        if self.async_state.is_some() {
+            return self.round_async(decide, respond, deliver);
+        }
         let n = self.len();
         let n32 = n as u32;
         let mut stats = RoundStats {

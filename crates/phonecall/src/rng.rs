@@ -4,6 +4,21 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// Reserved stream label for the asynchronous engine's activation
+/// clocks (see [`crate::events`]). Labels 0–6 belong to the topology
+/// first draw, engine ids/targets, algorithm RNG, churn, topology and
+/// traffic streams; 7–9 are the async engine's, so installing
+/// [`crate::Engine::Async`] never aliases an existing stream.
+pub const ASYNC_CLOCK_STREAM: u64 = 7;
+
+/// Reserved stream label for the asynchronous engine's message-latency
+/// draws (see [`ASYNC_CLOCK_STREAM`]).
+pub const ASYNC_LATENCY_STREAM: u64 = 8;
+
+/// Reserved stream label for the asynchronous engine's loss/delivery
+/// verdicts (see [`ASYNC_CLOCK_STREAM`]).
+pub const ASYNC_DELIVERY_STREAM: u64 = 9;
+
 /// Derives a child seed from a parent seed and a stream label.
 ///
 /// Used to give independent random streams to the engine, the failure plan,

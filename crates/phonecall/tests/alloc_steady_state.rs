@@ -28,7 +28,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use phonecall::{
-    Action, ChurnConfig, Delivery, DirectAddressing, Network, Target, Topology, TrafficConfig,
+    Action, AsyncConfig, ChurnConfig, Delivery, DirectAddressing, Engine, Network, Target,
+    Topology, TrafficConfig,
 };
 
 thread_local! {
@@ -231,6 +232,48 @@ fn round_loop_does_not_allocate_in_steady_state() {
     assert!(
         m.rumor_payloads > 0 && m.budget_drops > 0 && m.crashes > 0,
         "the workload must actually have trafficked for the zero to mean anything"
+    );
+
+    // Same contract on the *asynchronous* engine: the activation-clock
+    // heap is sized `n` at install time, the in-flight message pool is
+    // pre-sized to `n` on the first step (at most one in-flight message
+    // per node at any instant), the three reserved RNG streams live in
+    // the boxed engine state, and the type-erased heap cell is reused
+    // across steps — so draining a full event cascade (activations,
+    // latencies, pull round-trips, loss verdicts, churn crashes and
+    // workload piggybacks, all timestamp-ordered) must also cost zero
+    // steady-state allocations.
+    let mut evented: Network<St> = Network::new(1 << 10, 48);
+    evented.set_engine(Engine::Async(AsyncConfig::default()), 48);
+    evented.set_message_loss(0.1);
+    evented.set_churn(
+        ChurnConfig {
+            crash_rate: 0.5,
+            batch_size: 8,
+            recovery_rate: 0.3,
+            ..ChurnConfig::default()
+        },
+        105,
+    );
+    evented.set_traffic(
+        TrafficConfig {
+            rumors: 32,
+            arrival_rate: 2.0,
+            bandwidth: 2,
+            ..TrafficConfig::default()
+        },
+        128,
+        106,
+    );
+    assert_steady_state_is_allocation_free(&mut evented, "async-engine");
+    let m = evented.metrics();
+    assert!(
+        m.pushes > 0 && m.pull_requests > 0 && m.pull_replies > 0 && m.crashes > 0,
+        "the asynchronous network must actually have trafficked"
+    );
+    assert!(
+        evented.events_processed() > 0 && evented.virtual_time() > 0.0,
+        "the event queue must actually have drained events"
     );
 
     // The million-node contract: the bitset/SoA engine sizes every

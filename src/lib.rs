@@ -95,7 +95,7 @@ pub mod prelude {
     pub use gossip_harness::{run_algorithm_trials, Summary, Table};
     pub use gossip_lowerbound::estimate_success;
     pub use phonecall::{
-        Adjacency, ChurnConfig, DirectAddressing, FailurePlan, Metrics, Network, NodeId, NodeIdx,
-        RumorStatus, Topology, TrafficConfig,
+        Adjacency, AsyncConfig, ChurnConfig, DirectAddressing, Engine, FailurePlan, Latency,
+        Metrics, Network, NodeId, NodeIdx, RumorStatus, Topology, TrafficConfig,
     };
 }

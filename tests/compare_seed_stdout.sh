@@ -8,7 +8,7 @@
 #
 # Workflow for an engine refactor (how PR 6 used it): check out the
 # pre-refactor tree, `capture` into a scratch dir, check out the
-# refactored tree, `compare` against it. All thirteen experiment tables
+# refactored tree, `compare` against it. All fourteen experiment tables
 # are exact functions of RNG draw order, so a refactor that claims to be
 # behavior-preserving must produce byte-identical bytes here — and if it
 # intends to change behavior, the diff this script prints is the
@@ -36,6 +36,7 @@ bins=(
     exp_e11_topology
     exp_e12_realgraphs
     exp_e13_traffic
+    exp_e14_async
 )
 
 cd "$(dirname "$0")/.."

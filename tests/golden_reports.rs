@@ -451,6 +451,101 @@ fn traffic_run_reports_match_golden_digests() {
     }
 }
 
+/// One pinned async grid point: (algorithm, seed, rounds, events
+/// processed, messages, bits, informed) at `n = 256` under the default
+/// asynchronous engine (`rate = 1`, fixed latency `0.5`).
+type AsyncGolden = (&'static str, u64, u64, u64, u64, u64, usize);
+
+/// Pinned digests for every registered algorithm under
+/// `Engine::Async(AsyncConfig::default())` at `n = 256, seed ∈ {1, 7}`.
+/// Alongside the usual cost digest these pin `events_processed` — the
+/// length of the timestamp-ordered event trace — so any change to the
+/// event ordering, the clock/latency/delivery streams or the drain
+/// schedule fails loudly even when the aggregate costs happen to agree.
+#[rustfmt::skip]
+const ASYNC_GOLDEN: &[AsyncGolden] = &[
+    // (algo, seed, rounds, events, messages, bits, informed)
+    ("Cluster2", 1, 75, 27430, 8230, 420317, 256),
+    ("Cluster2", 7, 75, 26023, 6823, 358588, 256),
+    ("Cluster1", 1, 49, 24282, 11738, 587639, 256),
+    ("Cluster1", 7, 49, 23710, 11166, 560159, 256),
+    ("AvinElsasser", 1, 52, 18256, 4944, 811731, 256),
+    ("AvinElsasser", 7, 52, 18246, 4934, 815055, 256),
+    ("Karp", 1, 26, 9388, 2732, 553984, 256),
+    ("Karp", 7, 26, 9381, 2725, 588896, 256),
+    ("PushPull", 1, 7, 3756, 1964, 308224, 256),
+    ("PushPull", 7, 6, 3237, 1701, 261216, 256),
+    ("Push", 1, 12, 4466, 1394, 446080, 256),
+    ("Push", 7, 11, 4083, 1267, 405440, 256),
+    ("Pull", 1, 11, 4957, 2141, 141952, 256),
+    ("Pull", 7, 10, 4668, 2108, 140896, 256),
+    ("Cluster3", 1, 108, 40615, 12967, 652818, 256),
+    ("Cluster3", 7, 108, 40665, 13017, 656583, 256),
+    ("ClusterPushPull", 1, 156, 56163, 16227, 1335186, 256),
+    ("ClusterPushPull", 7, 156, 56186, 16250, 1348839, 256),
+    ("Tree", 1, 2, 1022, 510, 89760, 256),
+    ("Tree", 7, 2, 1022, 510, 89760, 256),
+    ("NameDropper", 1, 22, 11264, 5632, 9352528, 256),
+    ("NameDropper", 7, 25, 12800, 6400, 12447680, 256),
+];
+
+fn async_grid() -> Vec<(&'static dyn Algorithm, u64)> {
+    let mut g = Vec::new();
+    for &algo in registry::all() {
+        for seed in [1u64, 7] {
+            g.push((algo, seed));
+        }
+    }
+    g
+}
+
+fn async_digest(algo: &dyn Algorithm, seed: u64) -> AsyncGolden {
+    let r = algo.run(
+        &Scenario::broadcast(256)
+            .seed(seed)
+            .engine(Engine::Async(AsyncConfig::default())),
+    );
+    (
+        algo.name(),
+        seed,
+        r.rounds,
+        r.events_processed,
+        r.messages,
+        r.bits,
+        r.informed,
+    )
+}
+
+#[test]
+fn async_run_reports_match_golden_digests() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        println!("// async grid:");
+        for (algo, seed) in async_grid() {
+            let (name, seed, rounds, events, messages, bits, informed) = async_digest(algo, seed);
+            println!(
+                "    (\"{name}\", {seed}, {rounds}, {events}, {messages}, {bits}, {informed}),"
+            );
+        }
+        return;
+    }
+    assert_eq!(
+        ASYNC_GOLDEN.len(),
+        async_grid().len(),
+        "async golden table out of sync with the registry grid; regenerate with GOLDEN_REGEN=1"
+    );
+    for (&(name, seed, rounds, events, messages, bits, informed), (algo, gseed)) in
+        ASYNC_GOLDEN.iter().zip(async_grid())
+    {
+        assert_eq!((name, seed), (algo.name(), gseed), "grid drift");
+        let got = async_digest(algo, seed);
+        assert_eq!(
+            got,
+            (name, seed, rounds, events, messages, bits, informed),
+            "{name} at seed {seed} drifted from its async golden digest"
+        );
+    }
+}
+
 fn topology_grid() -> Vec<(
     &'static dyn Algorithm,
     &'static str,

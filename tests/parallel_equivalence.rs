@@ -106,6 +106,36 @@ fn loaded_scenarios_are_thread_count_invariant() {
 }
 
 #[test]
+fn async_scenarios_are_thread_count_invariant() {
+    // The E14 shape: the asynchronous engine's clock/latency/delivery
+    // streams are derived per trial seed, so the continuous virtual
+    // clock and the event count must reassemble bit-identically at
+    // every thread count — the whole event timeline is part of the
+    // determinism contract, not just the aggregate costs.
+    let scenario = Scenario::broadcast(256).engine(Engine::Async(AsyncConfig::default()));
+    for algo in [
+        registry::by_name("Cluster2").unwrap(),
+        registry::by_name("PushPull").unwrap(),
+    ] {
+        let metric = |seed: u64| {
+            let r = algo.run(&scenario.clone().seed(seed));
+            r.virtual_time + r.events_processed as f64 * 1e6
+        };
+        let seq = run_trials_seq(0xE14, algo.name(), 9, metric);
+        assert!(seq.mean > 0.0, "{} processed no events", algo.name());
+        for threads in THREAD_COUNTS {
+            let par = run_trials_on(threads, 0xE14, algo.name(), 9, metric);
+            assert_eq!(
+                par,
+                seq,
+                "{} async summary diverged at {threads} threads",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn gossip_threads_env_contract_is_documented_default() {
     // The runner must not *require* the env var: with nothing set it
     // falls back to available parallelism and still produces the
